@@ -1,0 +1,169 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation section (run with `go test -bench=. -benchmem`). Each
+// benchmark reports the paper's headline metric for that table/figure as
+// custom benchmark units alongside the harness cost itself.
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/core"
+)
+
+// BenchmarkTable2_ProgramStats regenerates Table 2 (program sizes,
+// breakpoints per function, variables in scope per breakpoint).
+func BenchmarkTable2_ProgramStats(b *testing.B) {
+	var rows []bench.Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var bps, vars float64
+	for _, r := range rows {
+		bps += float64(r.Breakpoints)
+		vars += r.VarsPerBreak
+	}
+	b.ReportMetric(bps, "total-breakpoints")
+	b.ReportMetric(vars/float64(len(rows)), "avg-vars/bkpt")
+}
+
+// BenchmarkTable3_Performance regenerates the Table 3 analog (optimized vs
+// unoptimized cycles per workload).
+func BenchmarkTable3_Performance(b *testing.B) {
+	var rows []bench.Table3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	geo := 1.0
+	for _, r := range rows {
+		geo *= r.Speedup
+	}
+	b.ReportMetric(math.Pow(geo, 1.0/float64(len(rows))), "geomean-speedup")
+}
+
+// BenchmarkTable4_SuspectShare regenerates Table 4 (the percentage of
+// endangered variables that are suspect).
+func BenchmarkTable4_SuspectShare(b *testing.B) {
+	var rows []bench.Table4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := 0.0
+	for _, r := range rows {
+		total += r.PctSuspect
+	}
+	b.ReportMetric(total/float64(len(rows)), "avg-%suspect")
+}
+
+// BenchmarkFigure5a regenerates Figure 5(a): per-breakpoint classification
+// averages with global optimizations only.
+func BenchmarkFigure5a(b *testing.B) {
+	benchmarkFigure5(b, bench.Figure5a)
+}
+
+// BenchmarkFigure5b regenerates Figure 5(b): per-breakpoint classification
+// averages with global optimizations and register allocation.
+func BenchmarkFigure5b(b *testing.B) {
+	benchmarkFigure5(b, bench.Figure5b)
+}
+
+func benchmarkFigure5(b *testing.B, f func() ([]bench.Fig5Row, error)) {
+	var rows []bench.Fig5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = f()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var cur, end, nonres float64
+	for _, r := range rows {
+		cur += r.Current
+		end += r.Endangered
+		nonres += r.Nonresident
+	}
+	n := float64(len(rows))
+	b.ReportMetric(cur/n, "avg-current/bkpt")
+	b.ReportMetric(end/n, "avg-endangered/bkpt")
+	b.ReportMetric(nonres/n, "avg-nonresident/bkpt")
+}
+
+// BenchmarkClassifierOnly isolates the cost of the paper's contribution —
+// the data-flow analyses plus per-breakpoint classification — over the
+// compiled workloads (the paper notes "neither the execution time of the
+// analysis phase nor the storage requirements are significant").
+func BenchmarkClassifierOnly(b *testing.B) {
+	cfg := compile.O2NoRegAlloc()
+	cfg.RegAlloc = true
+	var compiled []*compile.Result
+	for _, name := range bench.Names {
+		res, err := bench.CompileWorkload(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		compiled = append(compiled, res)
+	}
+	b.ResetTimer()
+	classified := 0
+	for i := 0; i < b.N; i++ {
+		classified = 0
+		for _, res := range compiled {
+			for _, f := range res.Mach.Funcs {
+				a := core.Analyze(f)
+				for s := 0; s < f.Decl.NumStmts; s++ {
+					cs, ok := a.ClassifyAllAt(s)
+					if !ok {
+						continue
+					}
+					classified += len(cs)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(classified), "classifications")
+}
+
+// BenchmarkCompileWorkloads measures full-pipeline compilation throughput.
+func BenchmarkCompileWorkloads(b *testing.B) {
+	for _, name := range bench.Names {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.CompileWorkload(name, compile.O2()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator measures simulator speed on one workload at O2.
+func BenchmarkSimulator(b *testing.B) {
+	res, err := bench.CompileWorkload("compress", compile.O2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := bench.RunWorkload(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(m.Steps), "vm-instructions")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// mcc is the MiniC optimizing compiler driver. It compiles a .mc file
+// through the full pipeline and can dump every representation level,
+// run the program on the simulator, and report the per-breakpoint
+// debuggability statistics of the paper.
+//
+// Usage:
+//
+//	mcc [flags] file.mc
+//
+// Flags:
+//
+//	-O0 / -O1 / -O2    optimization level (default -O2)
+//	-noregalloc        skip register allocation (Figure 5(a) mode)
+//	-nosched           skip instruction scheduling
+//	-nomarkers         suppress debugger marker bookkeeping (ablation)
+//	-dump-ast          print the AST statement tree
+//	-dump-ir           print the optimized mid-level IR
+//	-dump-mach         print the final machine code
+//	-run               execute on the simulator and print output + cycles
+//	-debugstats        print the per-breakpoint classification summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ast"
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+func main() {
+	o0 := flag.Bool("O0", false, "disable optimization")
+	o1 := flag.Bool("O1", false, "local optimizations only")
+	o2 := flag.Bool("O2", true, "full global optimization (default)")
+	noRA := flag.Bool("noregalloc", false, "skip register allocation")
+	noSched := flag.Bool("nosched", false, "skip instruction scheduling")
+	noMarkers := flag.Bool("nomarkers", false, "suppress debugger markers (ablation)")
+	dumpAST := flag.Bool("dump-ast", false, "print statement tree")
+	dumpIR := flag.Bool("dump-ir", false, "print optimized IR")
+	dumpMach := flag.Bool("dump-mach", false, "print machine code")
+	run := flag.Bool("run", false, "execute on the simulator")
+	stats := flag.Bool("debugstats", false, "print classification summary")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcc [flags] file.mc (or a workload name: li, eqntott, ...)")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	src, err := readSource(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := compile.Config{Opt: opt.O2(), RegAlloc: true, Sched: true}
+	switch {
+	case *o0:
+		cfg = compile.Config{Opt: opt.O0()}
+	case *o1:
+		cfg = compile.Config{Opt: opt.O1(), RegAlloc: true, Sched: true}
+	case *o2:
+		// default
+	}
+	if *noRA {
+		cfg.RegAlloc = false
+	}
+	if *noSched {
+		cfg.Sched = false
+	}
+	if *noMarkers {
+		cfg.Opt.NoMarkers = true
+	}
+
+	res, err := compile.Compile(name, src, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *dumpAST {
+		for _, fn := range res.Sem.Funcs {
+			fmt.Printf("func %s: %d statements, %d locals\n", fn.Name, fn.NumStmts, len(fn.Locals))
+			for id, s := range ast.StmtsByID(fn) {
+				if s == nil {
+					continue
+				}
+				pos := res.File.Position(s.Span().Start)
+				fmt.Printf("  s%-3d %s:%d  %T\n", id, pos.Filename, pos.Line, s)
+			}
+		}
+	}
+	if *dumpIR {
+		fmt.Print(res.IR.String())
+	}
+	if *dumpMach {
+		fmt.Print(res.Mach.String())
+	}
+
+	if *stats {
+		printStats(res)
+	}
+
+	if *run {
+		m, err := vm.New(res.Mach)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := m.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(m.Output())
+		fmt.Printf("[exit %d, %d cycles, %d instructions]\n", m.ExitValue(), m.Cycles, m.Steps)
+	}
+}
+
+// readSource loads a file, or a named built-in workload.
+func readSource(name string) (string, error) {
+	if b, err := os.ReadFile(name); err == nil {
+		return string(b), nil
+	}
+	if s, err := bench.Source(name); err == nil {
+		return s, nil
+	}
+	return "", fmt.Errorf("mcc: cannot open %q (not a file or built-in workload)", name)
+}
+
+func printStats(res *compile.Result) {
+	fmt.Println("per-breakpoint variable classification (averages):")
+	fmt.Printf("%-12s %8s %8s %10s %8s %11s %9s\n",
+		"function", "uninit", "current", "noncurrent", "suspect", "nonresident", "recovered")
+	for _, f := range res.Mach.Funcs {
+		a := core.Analyze(f)
+		var uninit, cur, noncur, susp, nonres, rec, bps int
+		for s := 0; s < f.Decl.NumStmts; s++ {
+			cs, ok := a.ClassifyAllAt(s)
+			if !ok {
+				continue
+			}
+			bps++
+			for _, c := range cs {
+				if c.Recovered != nil {
+					rec++
+				}
+				switch c.State {
+				case core.Uninitialized:
+					uninit++
+				case core.Current:
+					cur++
+				case core.Noncurrent:
+					noncur++
+				case core.Suspect:
+					susp++
+				case core.Nonresident:
+					nonres++
+				}
+			}
+		}
+		if bps == 0 {
+			continue
+		}
+		n := float64(bps)
+		fmt.Printf("%-12s %8.2f %8.2f %10.2f %8.2f %11.2f %9.2f\n",
+			f.Name, float64(uninit)/n, float64(cur)/n, float64(noncur)/n,
+			float64(susp)/n, float64(nonres)/n, float64(rec)/n)
+	}
+}

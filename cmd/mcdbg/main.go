@@ -1,0 +1,191 @@
+// mcdbg is the source-level debugger for optimized MiniC programs: the
+// command-line front end of the paper's debugger model. It compiles the
+// program with full optimization (configurable), runs it on the simulator,
+// and supports breakpoints and variable inspection with the endangered-
+// variable warnings of the paper.
+//
+// Usage:
+//
+//	mcdbg [-O0|-noregalloc|-nosched] file.mc command...
+//
+// Commands are executed in order (a scripted session):
+//
+//	break <func> <stmt>   set a breakpoint at a statement ID
+//	breakline <line>      set a breakpoint at a source line
+//	continue              run to the next breakpoint (or exit)
+//	step                  advance to the next source statement
+//	print <var>           display one variable with classification
+//	info                  display every variable in scope
+//	where                 show the current stop
+//	run                   continue to program exit
+//
+// Example:
+//
+//	mcdbg prog.mc breakline 12 continue print x info run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/debugger"
+	"repro/internal/opt"
+)
+
+func main() {
+	o0 := flag.Bool("O0", false, "debug unoptimized code")
+	noRA := flag.Bool("noregalloc", false, "skip register allocation")
+	noSched := flag.Bool("nosched", false, "skip instruction scheduling")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcdbg [flags] file.mc command...")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	src, err := readSource(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := compile.Config{Opt: opt.O2(), RegAlloc: true, Sched: true}
+	if *o0 {
+		cfg = compile.Config{Opt: opt.O0()}
+	}
+	if *noRA {
+		cfg.RegAlloc = false
+	}
+	if *noSched {
+		cfg.Sched = false
+	}
+
+	res, err := compile.Compile(name, src, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d, err := debugger.New(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	args := flag.Args()[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "break":
+			if i+2 >= len(args) {
+				fail("break needs <func> <stmt>")
+			}
+			stmt, err := strconv.Atoi(args[i+2])
+			if err != nil {
+				fail("bad statement id %q", args[i+2])
+			}
+			bp, err := d.BreakAtStmt(args[i+1], stmt)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("breakpoint at %s stmt %d (line %d)\n", bp.Fn.Name, bp.Stmt, bp.Line)
+			i += 2
+
+		case "breakline":
+			if i+1 >= len(args) {
+				fail("breakline needs <line>")
+			}
+			line, err := strconv.Atoi(args[i+1])
+			if err != nil {
+				fail("bad line %q", args[i+1])
+			}
+			bp, err := d.BreakAtLine(line)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("breakpoint at %s stmt %d (line %d)\n", bp.Fn.Name, bp.Stmt, bp.Line)
+			i++
+
+		case "continue":
+			bp, err := d.Continue()
+			if err != nil {
+				fail("%v", err)
+			}
+			if bp == nil {
+				fmt.Printf("program exited; output:\n%s", d.Output())
+			} else {
+				fmt.Printf("stopped at %s stmt %d (line %d)\n", bp.Fn.Name, bp.Stmt, bp.Line)
+			}
+
+		case "step":
+			bp, err := d.Step()
+			if err != nil {
+				fail("%v", err)
+			}
+			if bp == nil {
+				fmt.Printf("program exited; output:\n%s", d.Output())
+			} else {
+				fmt.Printf("step: %s stmt %d (line %d)\n", bp.Fn.Name, bp.Stmt, bp.Line)
+			}
+
+		case "print":
+			if i+1 >= len(args) {
+				fail("print needs <var>")
+			}
+			r, err := d.Print(args[i+1])
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Println(r.Display())
+			i++
+
+		case "info":
+			rs, err := d.Info()
+			if err != nil {
+				fail("%v", err)
+			}
+			for _, r := range rs {
+				fmt.Println("  " + r.Display())
+			}
+
+		case "where":
+			if bp := d.Stopped(); bp != nil {
+				fmt.Printf("at %s stmt %d (line %d)\n", bp.Fn.Name, bp.Stmt, bp.Line)
+			} else {
+				fmt.Println("not stopped")
+			}
+
+		case "run":
+			for {
+				bp, err := d.Continue()
+				if err != nil {
+					fail("%v", err)
+				}
+				if bp == nil {
+					break
+				}
+			}
+			fmt.Printf("program exited; output:\n%s", d.Output())
+
+		default:
+			fail("unknown command %q", args[i])
+		}
+	}
+}
+
+func readSource(name string) (string, error) {
+	if b, err := os.ReadFile(name); err == nil {
+		return string(b), nil
+	}
+	if s, err := bench.Source(name); err == nil {
+		return s, nil
+	}
+	return "", fmt.Errorf("mcdbg: cannot open %q", name)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Quickstart: compile a MiniC program with full optimization, run it under
+// the source-level debugger, and see the endangered-variable warnings of
+// the paper in action.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/compile"
+	"repro/internal/debugger"
+)
+
+const program = `
+int squareSum(int n) {
+	int total = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		int sq = i * i;
+		total = total + sq;
+	}
+	return total;
+}
+
+int main() {
+	int result = squareSum(10);
+	print("sum of squares = ", result, "\n");
+	return result;
+}
+`
+
+func main() {
+	// Compile at -O2 with register allocation and scheduling: the exact
+	// code a user would ship — the debugger is non-invasive and gets no
+	// special code generation.
+	res, err := compile.Compile("quickstart.mc", program, compile.O2())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dbg, err := debugger.New(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Break inside the loop (line 7: total = total + sq).
+	bp, err := dbg.BreakAtLine(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("breakpoint set at %s, statement %d (line %d)\n\n", bp.Fn.Name, bp.Stmt, bp.Line)
+
+	// Stop at the first three hits and inspect every variable in scope.
+	for hit := 1; hit <= 3; hit++ {
+		stopped, err := dbg.Continue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stopped == nil {
+			break
+		}
+		fmt.Printf("-- hit %d --\n", hit)
+		reports, err := dbg.Info()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range reports {
+			fmt.Println("  " + r.Display())
+		}
+	}
+
+	// Run to completion.
+	for {
+		stopped, err := dbg.Continue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stopped == nil {
+			break
+		}
+	}
+	fmt.Printf("\nprogram output: %s", dbg.Output())
+}

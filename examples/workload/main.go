@@ -1,0 +1,87 @@
+// Workload: a debugging session on one of the evaluation programs — the
+// LZW "compress" workload — compiled with full optimization, register
+// allocation and scheduling. This is the scenario the paper's introduction
+// motivates: a user debugging production-optimized code, where naive value
+// display would silently mislead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/debugger"
+)
+
+func main() {
+	src := bench.MustSource("compress")
+	res, err := compile.Compile("compress.mc", src, compile.O2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbg, err := debugger.New(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Break inside the compressor's hot loop: the hash-probe miss path
+	// where a new dictionary entry is inserted (statement 6 of compress:
+	// "outcodes[noutcodes] = w").
+	bp, err := dbg.BreakAtStmt("compress", 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("breakpoint in compress() at statement %d (line %d)\n\n", bp.Stmt, bp.Line)
+
+	counts := map[core.State]int{}
+	recovered := 0
+	hits := 0
+	for hits < 50 {
+		stopped, err := dbg.Continue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stopped == nil {
+			break
+		}
+		hits++
+		reports, err := dbg.Info()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hits <= 2 {
+			fmt.Printf("-- hit %d: info locals --\n", hits)
+			for _, r := range reports {
+				fmt.Println("  " + r.Display())
+			}
+			fmt.Println()
+		}
+		for _, r := range reports {
+			counts[r.Class.State]++
+			if r.HasRecovered {
+				recovered++
+			}
+		}
+	}
+
+	fmt.Printf("aggregate over %d breakpoint hits:\n", hits)
+	for _, s := range []core.State{core.Current, core.Uninitialized,
+		core.Nonresident, core.Noncurrent, core.Suspect} {
+		fmt.Printf("  %-14s %4d\n", s.String(), counts[s])
+	}
+	fmt.Printf("  %-14s %4d (shown with reconstructed values)\n", "recovered", recovered)
+
+	// Let the program finish and verify it still round-trips.
+	for {
+		stopped, err := dbg.Continue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stopped == nil {
+			break
+		}
+	}
+	fmt.Printf("\nprogram output:\n%s", dbg.Output())
+}

@@ -1,0 +1,51 @@
+package ast
+
+// WalkStmts calls fn for every statement in the function body, in
+// statement-ID order (the checker assigns IDs in traversal order). Blocks
+// themselves are not visited (they carry no ID).
+func WalkStmts(f *FuncDecl, fn func(Stmt)) {
+	var walk func(s Stmt)
+	walkBlock := func(b *Block) {
+		for _, s := range b.Stmts {
+			walk(s)
+		}
+	}
+	walk = func(s Stmt) {
+		if b, ok := s.(*Block); ok {
+			walkBlock(b)
+			return
+		}
+		fn(s)
+		switch s := s.(type) {
+		case *IfStmt:
+			walkBlock(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *WhileStmt:
+			walkBlock(s.Body)
+		case *DoWhileStmt:
+			walkBlock(s.Body)
+		case *ForStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walkBlock(s.Body)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		}
+	}
+	walkBlock(f.Body)
+}
+
+// StmtsByID returns the function's statements indexed by their IDs.
+func StmtsByID(f *FuncDecl) []Stmt {
+	out := make([]Stmt, f.NumStmts)
+	WalkStmts(f, func(s Stmt) {
+		if id := s.ID(); id >= 0 && id < len(out) {
+			out[id] = s
+		}
+	})
+	return out
+}

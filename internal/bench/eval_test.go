@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestTable2Stats checks the program statistics are in sane ranges.
+func TestTable2Stats(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Lines < 50 {
+			t.Errorf("%s: only %d lines", r.Program, r.Lines)
+		}
+		if r.Breakpoints < 30 {
+			t.Errorf("%s: only %d breakpoints", r.Program, r.Breakpoints)
+		}
+		if r.PerFunction < 2 {
+			t.Errorf("%s: %f breakpoints per function", r.Program, r.PerFunction)
+		}
+		if r.VarsPerBreak < 1 {
+			t.Errorf("%s: %f vars per breakpoint", r.Program, r.VarsPerBreak)
+		}
+	}
+	t.Logf("\n%s", RenderTable2(rows))
+}
+
+// TestTable3OptimizerWins checks every workload speeds up under O2 —
+// the analog of the paper's "cmcc produces code of competitive quality".
+func TestTable3OptimizerWins(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Speedup < 1.05 {
+			t.Errorf("%s: optimizer speedup only %.2fx (O0=%d O2=%d)",
+				r.Program, r.Speedup, r.CyclesO0, r.CyclesO2)
+		}
+	}
+	t.Logf("\n%s", RenderTable3(rows))
+}
+
+// TestFigure5aShape checks the paper's headline result for Figure 5(a):
+// without register allocation there are NO nonresident variables, and a
+// visible fraction (the paper reports roughly 10–30%) of in-scope locals
+// is endangered at the average breakpoint.
+func TestFigure5aShape(t *testing.T) {
+	rows, err := Figure5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyEndangered := 0
+	for _, r := range rows {
+		if r.Nonresident != 0 {
+			t.Errorf("%s: nonresident=%.2f without register allocation", r.Program, r.Nonresident)
+		}
+		total := r.Uninitialized + r.Current + r.Endangered
+		if total == 0 {
+			t.Errorf("%s: no variables classified", r.Program)
+			continue
+		}
+		frac := r.Endangered / total
+		if frac > 0 {
+			anyEndangered++
+		}
+		if frac > 0.6 {
+			t.Errorf("%s: %.0f%% endangered seems too high", r.Program, 100*frac)
+		}
+		t.Logf("%-10s endangered fraction %.1f%% (uninit=%.2f cur=%.2f end=%.2f rec=%.2f)",
+			r.Program, 100*frac, r.Uninitialized, r.Current, r.Endangered, r.Recovered)
+	}
+	if anyEndangered < 6 {
+		t.Errorf("only %d/8 programs show endangered variables; optimizer bookkeeping looks broken", anyEndangered)
+	}
+}
+
+// TestFigure5bShape checks the paper's headline result for Figure 5(b):
+// with register allocation the dominant problem becomes nonresidence,
+// endangered counts collapse relative to nonresident ones, and
+// current+uninitialized remains a large fraction.
+func TestFigure5bShape(t *testing.T) {
+	rows, err := Figure5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progsNonresDominates := 0
+	for _, r := range rows {
+		if r.Nonresident > r.Endangered {
+			progsNonresDominates++
+		}
+		t.Logf("%-10s uninit=%.2f cur=%.2f end=%.2f nonres=%.2f rec=%.2f",
+			r.Program, r.Uninitialized, r.Current, r.Endangered, r.Nonresident, r.Recovered)
+	}
+	if progsNonresDominates < 6 {
+		t.Errorf("nonresident should dominate endangered on most programs with regalloc; got %d/8",
+			progsNonresDominates)
+	}
+}
+
+// TestTable4Shape checks that the majority of endangered variables are
+// noncurrent rather than suspect, as the paper's Table 4 reports.
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports suspects as the minority of endangered variables;
+	// individual programs vary (loop-dominated programs skew suspect), so
+	// require the majority-noncurrent property for most of the suite.
+	majNoncurrent := 0
+	for _, r := range rows {
+		if r.PctSuspect < 60 {
+			majNoncurrent++
+		}
+	}
+	if majNoncurrent < 6 {
+		t.Errorf("only %d/8 programs have majority-noncurrent endangered variables", majNoncurrent)
+	}
+	t.Logf("\n%s", RenderTable4(rows))
+}

@@ -1,0 +1,50 @@
+package bench
+
+// Verifies the example program in docs/MINIC.md actually compiles and runs.
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+)
+
+const minicDocExample = `
+int count;
+
+float dot(float a[], float b[], int n) {
+	float s = 0.0;
+	for (int i = 0; i < n; i++) {
+		float term = a[i] * b[i];
+		s = s + term;
+		if (term > 10.0) { count++; }
+	}
+	return s;
+}
+
+int main() {
+	float x[8];
+	float y[8];
+	for (int i = 0; i < 8; i++) {
+		x[i] = float(i) * 0.5;
+		y[i] = float(8 - i);
+	}
+	print("dot=", dot(x, y, 8), " big_terms=", count, "\n");
+	return count;
+}
+`
+
+func TestMinicDocExample(t *testing.T) {
+	for _, cfg := range []compile.Config{compile.O0(), compile.O2()} {
+		res, err := compile.Compile("doc.mc", minicDocExample, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := RunWorkload(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(m.Output(), "dot=") {
+			t.Errorf("output: %q", m.Output())
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package compile is the driver tying the pipeline together:
+// parse → check → build IR → global optimization → lowering →
+// register allocation → instruction scheduling.
+package compile
+
+import (
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/mach"
+	"repro/internal/opt"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Config selects the pipeline configuration. The paper's two measured
+// configurations are:
+//
+//	Figure 5(a): Opt=opt.O2(), RegAlloc=false, Sched=false
+//	Figure 5(b): Opt=opt.O2(), RegAlloc=true,  Sched=false
+//
+// (cmcc's scheduling endangerment is handled by the companion analysis and
+// can be enabled with Sched=true.)
+type Config struct {
+	Opt      opt.Options
+	RegAlloc bool
+	Sched    bool
+}
+
+// O0 compiles without any optimization.
+func O0() Config { return Config{Opt: opt.O0()} }
+
+// O2 compiles with full global optimization, register allocation and
+// scheduling.
+func O2() Config { return Config{Opt: opt.O2(), RegAlloc: true, Sched: true} }
+
+// O2NoRegAlloc is the Figure 5(a) configuration.
+func O2NoRegAlloc() Config { return Config{Opt: opt.O2()} }
+
+// Result bundles the program at every level.
+type Result struct {
+	File *source.File
+	Sem  *sem.Program
+	IR   *ir.Program
+	Mach *mach.Program
+}
+
+// Compile runs the full pipeline over MiniC source text.
+func Compile(name, src string, cfg Config) (*Result, error) {
+	p, err := sem.CheckSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	prog := ir.Build(p)
+	opt.Run(prog, cfg.Opt)
+	mp := lower.Lower(prog)
+	if cfg.RegAlloc {
+		if err := regalloc.Allocate(mp); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Sched {
+		sched.Schedule(mp)
+	}
+	return &Result{File: p.File.Source, Sem: p, IR: prog, Mach: mp}, nil
+}

@@ -1,0 +1,62 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+)
+
+const prog = `
+int main() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 5; i++) { s += i; }
+	print(s);
+	return s;
+}
+`
+
+func TestConfigs(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"O0": O0(), "O2": O2(), "O2NoRegAlloc": O2NoRegAlloc(),
+	} {
+		res, err := Compile("t.mc", prog, cfg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Mach.LookupFunc("main") == nil {
+			t.Errorf("%s: no main in output", name)
+		}
+		f := res.Mach.LookupFunc("main")
+		if cfg.RegAlloc != f.Allocated {
+			t.Errorf("%s: Allocated=%v, want %v", name, f.Allocated, cfg.RegAlloc)
+		}
+		if cfg.Sched != f.Scheduled {
+			t.Errorf("%s: Scheduled=%v, want %v", name, f.Scheduled, cfg.Sched)
+		}
+	}
+}
+
+func TestCompileErrorPropagates(t *testing.T) {
+	_, err := Compile("bad.mc", `int main() { return undeclared; }`, O0())
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = Compile("bad.mc", `int x = ;`, O0())
+	if err == nil {
+		t.Error("parse error not propagated")
+	}
+}
+
+func TestResultCarriesAllLevels(t *testing.T) {
+	res, err := Compile("t.mc", prog, O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.File == nil || res.Sem == nil || res.IR == nil || res.Mach == nil {
+		t.Error("result missing a representation level")
+	}
+	if res.IR.LookupFunc("main") == nil {
+		t.Error("IR lost")
+	}
+}

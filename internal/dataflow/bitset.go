@@ -1,0 +1,157 @@
+// Package dataflow provides the bit-vector data-flow machinery used by both
+// the optimizer and the debugger analyses: dense bit sets, an iterative
+// worklist solver for forward/backward may/must problems, dominator and
+// postdominator trees, and natural-loop detection.
+//
+// The debugger-side analyses of the paper (hoist reach, dead reach) are
+// instances of the same framework — that is one of the paper's central
+// arguments: "the data-flow analysis required to support the debugger is
+// similar to the data-flow analysis performed for global optimization and
+// in our compiler uses the same modules."
+package dataflow
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitSet is a fixed-capacity dense bit set.
+type BitSet struct {
+	words []uint64
+	n     int
+}
+
+// NewBitSet makes an empty set with capacity for n bits.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the set's capacity in bits.
+func (s *BitSet) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *BitSet) Set(i int) { s.words[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (s *BitSet) Clear(i int) { s.words[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (s *BitSet) Has(i int) bool { return s.words[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// SetAll sets every bit in [0, Len).
+func (s *BitSet) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// ClearAll clears every bit.
+func (s *BitSet) ClearAll() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim zeroes bits beyond n so that Equal and Count stay exact.
+func (s *BitSet) trim() {
+	if s.n%64 != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % 64)) - 1
+	}
+}
+
+// Copy returns an independent copy of s.
+func (s *BitSet) Copy() *BitSet {
+	c := &BitSet{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with t (capacities must match).
+func (s *BitSet) CopyFrom(t *BitSet) { copy(s.words, t.words) }
+
+// Union adds all bits of t to s; reports whether s changed.
+func (s *BitSet) Union(t *BitSet) bool {
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			changed = true
+			s.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// Intersect keeps only bits present in both; reports whether s changed.
+func (s *BitSet) Intersect(t *BitSet) bool {
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] & w
+		if nw != s.words[i] {
+			changed = true
+			s.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// Subtract removes bits of t from s; reports whether s changed.
+func (s *BitSet) Subtract(t *BitSet) bool {
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] &^ w
+		if nw != s.words[i] {
+			changed = true
+			s.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// Equal reports set equality.
+func (s *BitSet) Equal(t *BitSet) bool {
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (s *BitSet) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bits are set.
+func (s *BitSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls f for every set bit, in increasing order.
+func (s *BitSet) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+func (s *BitSet) String() string {
+	var parts []string
+	s.ForEach(func(i int) { parts = append(parts, fmt.Sprint(i)) })
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,218 @@
+package dataflow
+
+// DomTree holds immediate dominators (or postdominators) for a Graph.
+type DomTree struct {
+	// IDom[b] is the immediate dominator of b, or -1 for the root and for
+	// unreachable blocks.
+	IDom []int
+	root int
+}
+
+// Dominators computes the dominator tree of g rooted at entry using the
+// iterative algorithm of Cooper, Harvey & Kennedy over a reverse-postorder
+// numbering.
+func Dominators(g Graph, entry int) *DomTree {
+	return domsOf(g.N, g.Succs, g.Preds, entry)
+}
+
+// PostDominators computes the postdominator tree of g. Because a function
+// may have several exit blocks, a virtual exit is synthesized internally;
+// blocks whose immediate postdominator is the virtual exit get IDom -1.
+func PostDominators(g Graph) *DomTree {
+	n := g.N
+	// Build the reverse graph with a virtual exit node n.
+	succs := make([][]int, n+1)
+	preds := make([][]int, n+1)
+	for b := 0; b < n; b++ {
+		// reversed edges
+		for _, s := range g.Succs[b] {
+			succs[s] = append(succs[s], b)
+			preds[b] = append(preds[b], s)
+		}
+		if len(g.Succs[b]) == 0 {
+			succs[n] = append(succs[n], b)
+			preds[b] = append(preds[b], n)
+		}
+	}
+	t := domsOf(n+1, succs, preds, n)
+	out := &DomTree{IDom: make([]int, n), root: -1}
+	for b := 0; b < n; b++ {
+		if t.IDom[b] == n {
+			out.IDom[b] = -1
+		} else {
+			out.IDom[b] = t.IDom[b]
+		}
+	}
+	return out
+}
+
+func domsOf(n int, succs, preds [][]int, entry int) *DomTree {
+	// Reverse postorder from entry.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var walk func(int)
+	walk = func(b int) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range succs[b] {
+			walk(s)
+		}
+		order = append(order, b)
+	}
+	walk(entry)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b] = i
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[entry] = entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if rpoNum[p] < 0 || idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = -1
+	return &DomTree{IDom: idom, root: entry}
+}
+
+// Dominates reports whether a dominates b (reflexive).
+func (t *DomTree) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = t.IDom[b]
+	}
+	return false
+}
+
+// Loop is one natural loop.
+type Loop struct {
+	Header int
+	// Blocks contains every block in the loop body (including the header).
+	Blocks map[int]bool
+	// Latches are the blocks with back edges to the header.
+	Latches []int
+	// Preheader is filled by the optimizer when it inserts one (-1 if
+	// absent).
+	Preheader int
+	// Parent loop index in the Loops slice, or -1 for top-level loops.
+	Parent int
+	Depth  int
+}
+
+// FindLoops detects natural loops (back edges whose target dominates the
+// source) and computes per-block loop depth. Loops sharing a header are
+// merged.
+func FindLoops(g Graph, entry int) (loops []*Loop, depth []int) {
+	dom := Dominators(g, entry)
+	byHeader := map[int]*Loop{}
+	for b := 0; b < g.N; b++ {
+		for _, s := range g.Succs[b] {
+			if dom.Dominates(s, b) {
+				// back edge b -> s
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[int]bool{s: true}, Preheader: -1, Parent: -1}
+					byHeader[s] = l
+					loops = append(loops, l)
+				}
+				l.Latches = append(l.Latches, b)
+				// Collect the loop body: all blocks that reach the latch
+				// backwards without passing the header.
+				var stack []int
+				if !l.Blocks[b] {
+					l.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range g.Preds[x] {
+						if !l.Blocks[p] {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Nesting: loop A is nested in B if A's header is in B's blocks and A != B.
+	for i, a := range loops {
+		best := -1
+		bestSize := 1 << 30
+		for j, b := range loops {
+			if i == j {
+				continue
+			}
+			if b.Blocks[a.Header] && len(b.Blocks) < bestSize && len(b.Blocks) > len(a.Blocks) {
+				best, bestSize = j, len(b.Blocks)
+			}
+		}
+		a.Parent = best
+	}
+	for _, l := range loops {
+		d := 1
+		p := l.Parent
+		for p != -1 {
+			d++
+			p = loops[p].Parent
+		}
+		l.Depth = d
+	}
+	depth = make([]int, g.N)
+	for _, l := range loops {
+		for b := range l.Blocks {
+			if l.Depth > depth[b] {
+				depth[b] = l.Depth
+			}
+		}
+	}
+	return loops, depth
+}

@@ -1,0 +1,161 @@
+package dataflow
+
+// Graph is the abstract CFG view the solver works on: blocks are numbered
+// 0..N-1 with block 0 conventionally the entry (callers may pass any entry
+// set). Both the IR CFG and the machine-code CFG implement it by exporting
+// successor/predecessor index slices.
+type Graph struct {
+	N     int
+	Succs [][]int
+	Preds [][]int
+}
+
+// Direction of a data-flow problem.
+type Direction int
+
+// Problem directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Meet operator of a data-flow problem.
+type Meet int
+
+// Meet operators: Union computes a "may" (some-path) solution, Intersect a
+// "must" (all-paths) solution.
+const (
+	Union Meet = iota
+	Intersect
+)
+
+// Problem is a gen/kill bit-vector data-flow problem:
+//
+//	out[b] = gen[b] ∪ (in[b] − kill[b])       (forward)
+//	in[b]  = meet over preds' out (forward)
+//
+// Boundary is the value at the entry (forward) or exits (backward).
+type Problem struct {
+	Graph     Graph
+	Dir       Direction
+	Meet      Meet
+	Bits      int
+	Gen, Kill []*BitSet // per block
+	// Boundary is the in-set of the entry block (forward) or the out-set
+	// of exit blocks (backward). nil means empty.
+	Boundary *BitSet
+	// Entries lists boundary blocks; for Forward it defaults to {0}, for
+	// Backward it defaults to all blocks with no successors.
+	Entries []int
+}
+
+// Result holds the fixed-point solution.
+type Result struct {
+	In, Out []*BitSet
+}
+
+// Solve runs the iterative worklist algorithm to a fixed point.
+func (p *Problem) Solve() *Result {
+	n := p.Graph.N
+	res := &Result{In: make([]*BitSet, n), Out: make([]*BitSet, n)}
+
+	boundary := p.Boundary
+	if boundary == nil {
+		boundary = NewBitSet(p.Bits)
+	}
+	entries := p.Entries
+	if entries == nil {
+		if p.Dir == Forward {
+			entries = []int{0}
+		} else {
+			for b := 0; b < n; b++ {
+				if len(p.Graph.Succs[b]) == 0 {
+					entries = append(entries, b)
+				}
+			}
+		}
+	}
+	isEntry := make([]bool, n)
+	for _, e := range entries {
+		isEntry[e] = true
+	}
+
+	// Initial values: for Intersect problems, interior sets start full
+	// (top); for Union they start empty (bottom).
+	for b := 0; b < n; b++ {
+		res.In[b] = NewBitSet(p.Bits)
+		res.Out[b] = NewBitSet(p.Bits)
+		if p.Meet == Intersect {
+			res.In[b].SetAll()
+			res.Out[b].SetAll()
+		}
+	}
+
+	// flowIn is the set flowing into the transfer function; flowOut the
+	// set it produces. For Backward, roles of In/Out swap.
+	var flowIn, flowOut []*BitSet
+	var edgesIn [][]int
+	if p.Dir == Forward {
+		flowIn, flowOut = res.In, res.Out
+		edgesIn = p.Graph.Preds
+	} else {
+		flowIn, flowOut = res.Out, res.In
+		edgesIn = p.Graph.Succs
+	}
+
+	// Seed boundary blocks.
+	for _, e := range entries {
+		flowIn[e].CopyFrom(boundary)
+	}
+
+	changed := true
+	tmp := NewBitSet(p.Bits)
+	for changed {
+		changed = false
+		for b := 0; b < n; b++ {
+			// Meet over incoming edges.
+			if !isEntry[b] || len(edgesIn[b]) > 0 {
+				if len(edgesIn[b]) > 0 {
+					first := true
+					for _, pb := range edgesIn[b] {
+						if first {
+							tmp.CopyFrom(flowOut[pb])
+							first = false
+						} else if p.Meet == Union {
+							tmp.Union(flowOut[pb])
+						} else {
+							tmp.Intersect(flowOut[pb])
+						}
+					}
+					if isEntry[b] {
+						// A boundary block with incoming edges (e.g. a loop
+						// header that is also the entry) still receives the
+						// boundary value.
+						if p.Meet == Union {
+							tmp.Union(boundary)
+						} else {
+							tmp.Intersect(boundary)
+						}
+					}
+					if !tmp.Equal(flowIn[b]) {
+						flowIn[b].CopyFrom(tmp)
+						changed = true
+					}
+				}
+			}
+			// Transfer: out = gen ∪ (in − kill).
+			tmp.CopyFrom(flowIn[b])
+			if p.Kill != nil && p.Kill[b] != nil {
+				tmp.Subtract(p.Kill[b])
+			}
+			if p.Gen != nil && p.Gen[b] != nil {
+				tmp.Union(p.Gen[b])
+			}
+			if !tmp.Equal(flowOut[b]) {
+				flowOut[b].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,459 @@
+// Package debugger implements the source-level debugger of the paper's
+// model: non-invasive (it debugs exactly the code the optimizing compiler
+// produced, with no extra instructions), running the program on the
+// simulator, mapping source statements to breakpoint locations through the
+// debug tables, and classifying every queried variable with the core
+// analyses before displaying it — so the user is never misled: an
+// endangered value is always accompanied by a warning.
+package debugger
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/debuginfo"
+	"repro/internal/mach"
+	"repro/internal/vm"
+)
+
+// Breakpoint is one armed source breakpoint.
+type Breakpoint struct {
+	Fn   *mach.Func
+	Stmt int
+	Line int
+	Loc  debuginfo.Loc
+}
+
+// Debugger drives one debug session.
+type Debugger struct {
+	Res *compile.Result
+	VM  *vm.VM
+
+	analyses map[*mach.Func]*core.Analysis
+	breaks   []*Breakpoint
+	stopped  *Breakpoint
+}
+
+// New prepares a session for a compiled program.
+func New(res *compile.Result) (*Debugger, error) {
+	m, err := vm.New(res.Mach)
+	if err != nil {
+		return nil, err
+	}
+	return &Debugger{
+		Res:      res,
+		VM:       m,
+		analyses: map[*mach.Func]*core.Analysis{},
+	}, nil
+}
+
+// analysisOf lazily runs the core analyses per function.
+func (d *Debugger) analysisOf(f *mach.Func) *core.Analysis {
+	a, ok := d.analyses[f]
+	if !ok {
+		a = core.Analyze(f)
+		d.analyses[f] = a
+	}
+	return a
+}
+
+// stmtLine returns the source line of statement s in fn.
+func (d *Debugger) stmtLine(fn *mach.Func, s int) int {
+	stmts := ast.StmtsByID(fn.Decl)
+	if s < 0 || s >= len(stmts) || stmts[s] == nil {
+		return 0
+	}
+	return d.Res.File.Position(stmts[s].Span().Start).Line
+}
+
+// BreakAtLine sets a breakpoint at the first statement on the given source
+// line.
+func (d *Debugger) BreakAtLine(line int) (*Breakpoint, error) {
+	for _, f := range d.Res.Mach.Funcs {
+		stmts := ast.StmtsByID(f.Decl)
+		for s, st := range stmts {
+			if st == nil {
+				continue
+			}
+			if d.Res.File.Position(st.Span().Start).Line == line {
+				return d.BreakAtStmt(f.Name, s)
+			}
+		}
+	}
+	return nil, fmt.Errorf("debugger: no statement on line %d", line)
+}
+
+// BreakAtStmt sets a breakpoint at statement stmt of the named function.
+func (d *Debugger) BreakAtStmt(funcName string, stmt int) (*Breakpoint, error) {
+	f := d.Res.Mach.LookupFunc(funcName)
+	if f == nil {
+		return nil, fmt.Errorf("debugger: no function %q", funcName)
+	}
+	a := d.analysisOf(f)
+	loc, ok := a.Table.LocOf(stmt)
+	if !ok {
+		return nil, fmt.Errorf("debugger: statement %d of %s has no code location", stmt, funcName)
+	}
+	bp := &Breakpoint{Fn: f, Stmt: stmt, Line: d.stmtLine(f, stmt), Loc: loc}
+	d.breaks = append(d.breaks, bp)
+	return bp, nil
+}
+
+// Continue resumes execution until a breakpoint or program exit. It
+// returns the breakpoint hit, or nil when the program halted.
+func (d *Debugger) Continue() (*Breakpoint, error) {
+	first := true
+	err := d.VM.RunUntil(func(p vm.Pos) bool {
+		if first {
+			// Don't immediately re-trigger the breakpoint we stopped at.
+			first = false
+			if d.stopped != nil && d.matches(p) != nil {
+				return false
+			}
+		}
+		return d.matches(p) != nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d.VM.Halted() {
+		d.stopped = nil
+		return nil, nil
+	}
+	d.stopped = d.matches(d.VM.Position())
+	return d.stopped, nil
+}
+
+func (d *Debugger) matches(p vm.Pos) *Breakpoint {
+	for _, bp := range d.breaks {
+		if p.Fn == bp.Fn && p.Block == bp.Loc.Block && p.Idx == bp.Loc.Idx {
+			return bp
+		}
+	}
+	return nil
+}
+
+// Stopped returns the breakpoint the session is currently stopped at.
+func (d *Debugger) Stopped() *Breakpoint { return d.stopped }
+
+// Step advances execution to the beginning of the next source statement
+// (stepping into calls), returning a synthetic breakpoint describing where
+// execution stopped, or nil when the program halted. The paper's debugger
+// model treats any statement boundary as a potential stopping point, so
+// the variable classifications at a step stop are computed exactly like
+// breakpoint classifications.
+func (d *Debugger) Step() (*Breakpoint, error) {
+	if d.VM.Halted() {
+		return nil, nil
+	}
+	startFn := d.VM.Position().Fn
+	startStmt := d.currentStmt()
+	// Execute at least one instruction, then run until we sit at the
+	// first instruction of a different statement (or another function).
+	if err := d.VM.Step(); err != nil {
+		return nil, err
+	}
+	err := d.VM.RunUntil(func(p vm.Pos) bool {
+		in := d.VM.CurrentInstr()
+		if in == nil || in.Stmt < 0 {
+			return false
+		}
+		return p.Fn != startFn || in.Stmt != startStmt
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d.VM.Halted() {
+		d.stopped = nil
+		return nil, nil
+	}
+	pos := d.VM.Position()
+	stmt := d.currentStmt()
+	bp := &Breakpoint{
+		Fn:   pos.Fn,
+		Stmt: stmt,
+		Line: d.stmtLine(pos.Fn, stmt),
+		Loc:  debuginfo.Loc{Block: pos.Block, Idx: pos.Idx},
+	}
+	d.stopped = bp
+	return bp, nil
+}
+
+// currentStmt returns the statement of the instruction about to execute.
+func (d *Debugger) currentStmt() int {
+	in := d.VM.CurrentInstr()
+	if in == nil {
+		return -1
+	}
+	if in.Stmt >= 0 {
+		return in.Stmt
+	}
+	pos := d.VM.Position()
+	return debuginfo.StmtOfLoc(debuginfo.Loc{Block: pos.Block, Idx: pos.Idx})
+}
+
+// VarReport is the debugger's answer to "print v".
+type VarReport struct {
+	Name   string
+	Class  core.Classification
+	HasVal bool
+	Val    vm.Val
+	// RecoveredVal is filled when the expected value was reconstructed
+	// from a recovery source.
+	HasRecovered bool
+	RecoveredVal vm.Val
+	// SrcLines are the source lines of the assignments responsible for
+	// the endangerment (resolved from Class.SrcStmts).
+	SrcLines []int
+}
+
+// Display renders the report the way the paper's debugger model prescribes:
+// the value (or recovered value), always accompanied by a warning when the
+// variable is endangered.
+func (r *VarReport) Display() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s = ", r.Name)
+	switch {
+	case r.HasRecovered:
+		b.WriteString(fmtVal(r.RecoveredVal))
+		fmt.Fprintf(&b, " (recovered; %s)", r.Class.Why)
+	case r.Class.State == core.Uninitialized:
+		b.WriteString("<uninitialized>")
+	case r.Class.State == core.Nonresident:
+		b.WriteString("<unavailable>")
+		fmt.Fprintf(&b, " (nonresident: %s)", r.Class.Why)
+	case !r.HasVal:
+		b.WriteString("<unavailable>")
+	default:
+		b.WriteString(fmtVal(r.Val))
+		switch r.Class.State {
+		case core.Noncurrent:
+			fmt.Fprintf(&b, " (WARNING: noncurrent due to %s — %s%s)",
+				r.Class.Cause, r.Class.Why, lineList(r.SrcLines))
+		case core.Suspect:
+			fmt.Fprintf(&b, " (WARNING: suspect due to %s — %s%s)",
+				r.Class.Cause, r.Class.Why, lineList(r.SrcLines))
+		}
+	}
+	return b.String()
+}
+
+func lineList(lines []int) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("; see line")
+	if len(lines) > 1 {
+		b.WriteString("s")
+	}
+	for i, l := range lines {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " %d", l)
+	}
+	return b.String()
+}
+
+func fmtVal(v vm.Val) string {
+	if v.IsF {
+		return fmt.Sprintf("%g", v.F)
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// Print reports on one variable at the current stop.
+func (d *Debugger) Print(name string) (*VarReport, error) {
+	if d.stopped == nil {
+		return nil, fmt.Errorf("debugger: not stopped at a breakpoint")
+	}
+	bp := d.stopped
+	a := d.analysisOf(bp.Fn)
+	var obj *ast.Object
+	for _, v := range a.Table.VarsInScope(bp.Stmt) {
+		if v.Name == name {
+			obj = v
+			break
+		}
+	}
+	if obj == nil {
+		// Globals live in memory, untouched by the scalar optimizer: they
+		// are always current (the paper's measurements found endangered
+		// globals negligible and reported locals only).
+		for _, g := range d.Res.Mach.Globals {
+			if g.Name == name {
+				return d.reportGlobal(g)
+			}
+		}
+		return nil, fmt.Errorf("debugger: no variable %q in scope at this breakpoint", name)
+	}
+	return d.report(bp, obj)
+}
+
+// reportGlobal reads a global scalar from the data segment.
+func (d *Debugger) reportGlobal(g *ast.Object) (*VarReport, error) {
+	r := &VarReport{Name: g.Name, Class: core.Classification{Var: g, State: core.Current}}
+	off, ok := d.Res.Mach.GlobalOff[g]
+	if !ok {
+		return r, nil
+	}
+	if ast.IsFloat(g.Type) {
+		x, err := d.VM.ReadMemFloat(off)
+		if err != nil {
+			return nil, err
+		}
+		r.HasVal = true
+		r.Val = vm.Val{F: x, IsF: true}
+		return r, nil
+	}
+	x, err := d.VM.ReadMemInt(off)
+	if err != nil {
+		return nil, err
+	}
+	r.HasVal = true
+	r.Val = vm.Val{I: x}
+	return r, nil
+}
+
+// Info reports on every variable in scope at the current stop.
+func (d *Debugger) Info() ([]*VarReport, error) {
+	if d.stopped == nil {
+		return nil, fmt.Errorf("debugger: not stopped at a breakpoint")
+	}
+	bp := d.stopped
+	a := d.analysisOf(bp.Fn)
+	var out []*VarReport
+	for _, v := range a.Table.VarsInScope(bp.Stmt) {
+		r, err := d.report(bp, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
+	a := d.analysisOf(bp.Fn)
+	cls, ok := a.ClassifyAt(bp.Stmt, obj)
+	if !ok {
+		return nil, fmt.Errorf("debugger: statement %d has no location", bp.Stmt)
+	}
+	r := &VarReport{Name: obj.Name, Class: cls}
+	for _, s := range cls.SrcStmts {
+		if l := d.stmtLine(bp.Fn, s); l > 0 {
+			r.SrcLines = append(r.SrcLines, l)
+		}
+	}
+	fr := d.VM.Top()
+	if fr == nil || fr.Fn != bp.Fn {
+		return r, nil
+	}
+	if v, ok := d.readActual(fr, obj); ok {
+		r.HasVal = true
+		r.Val = v
+	}
+	if cls.Recovered != nil {
+		if v, ok := d.readRecovered(fr, cls.Recovered); ok {
+			r.HasRecovered = true
+			r.RecoveredVal = v
+		}
+	}
+	return r, nil
+}
+
+// readActual reads the runtime value in the variable's location.
+func (d *Debugger) readActual(fr *vm.Frame, obj *ast.Object) (vm.Val, bool) {
+	f := fr.Fn
+	isFloat := ast.IsFloat(obj.Type)
+	if obj.Addressed {
+		addr, ok := d.VM.AddrOf(fr, obj)
+		if !ok {
+			return vm.Val{}, false
+		}
+		if _, isArr := obj.Type.(*ast.ArrayType); isArr {
+			// Arrays display their first element.
+			_ = isArr
+		}
+		if isFloat {
+			x, err := d.VM.ReadMemFloat(addr)
+			if err != nil {
+				return vm.Val{}, false
+			}
+			return vm.Val{F: x, IsF: true}, true
+		}
+		x, err := d.VM.ReadMemInt(addr)
+		if err != nil {
+			return vm.Val{}, false
+		}
+		return vm.Val{I: x}, true
+	}
+	if !f.Allocated {
+		// Virtual registers: the variable's vreg is its Object ID.
+		if isFloat {
+			return vm.Val{F: fr.FReg[obj.ID], IsF: true}, true
+		}
+		return vm.Val{I: fr.IReg[obj.ID]}, true
+	}
+	loc, ok := f.VarLoc[obj]
+	if !ok {
+		return vm.Val{}, false
+	}
+	switch loc.Kind {
+	case mach.LocReg:
+		if loc.Class == mach.FloatClass {
+			return vm.Val{F: fr.FReg[loc.R], IsF: true}, true
+		}
+		return vm.Val{I: fr.IReg[loc.R]}, true
+	case mach.LocSpill:
+		if isFloat {
+			x, err := d.VM.ReadMemFloat(fr.Base + loc.Off)
+			if err != nil {
+				return vm.Val{}, false
+			}
+			return vm.Val{F: x, IsF: true}, true
+		}
+		x, err := d.VM.ReadMemInt(fr.Base + loc.Off)
+		if err != nil {
+			return vm.Val{}, false
+		}
+		return vm.Val{I: x}, true
+	}
+	return vm.Val{}, false
+}
+
+// readRecovered reconstructs the expected value from a recovery source.
+func (d *Debugger) readRecovered(fr *vm.Frame, rec *core.Recovery) (vm.Val, bool) {
+	switch rec.Kind {
+	case core.RecoverConst:
+		if rec.IsF {
+			return vm.Val{F: rec.CF, IsF: true}, true
+		}
+		return vm.Val{I: rec.C}, true
+	case core.RecoverAlias:
+		if !rec.Reg.IsReg() {
+			return vm.Val{}, false
+		}
+		if rec.Reg.Class == mach.FloatClass {
+			return vm.Val{F: fr.FReg[rec.Reg.R], IsF: true}, true
+		}
+		return vm.Val{I: fr.IReg[rec.Reg.R]}, true
+	case core.RecoverLinear:
+		if !rec.Reg.IsReg() || rec.A == 0 {
+			return vm.Val{}, false
+		}
+		x := fr.IReg[rec.Reg.R]
+		return vm.Val{I: (x - rec.B) / rec.A}, true
+	}
+	return vm.Val{}, false
+}
+
+// Halted reports whether the program has exited.
+func (d *Debugger) Halted() bool { return d.VM.Halted() }
+
+// Output returns the program's output so far.
+func (d *Debugger) Output() string { return d.VM.Output() }

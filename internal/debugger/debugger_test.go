@@ -1,0 +1,307 @@
+package debugger
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/opt"
+)
+
+func session(t *testing.T, src string, cfg compile.Config) *Debugger {
+	t.Helper()
+	res, err := compile.Compile("test.mc", src, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	d, err := New(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBreakAndPrint(t *testing.T) {
+	src := `
+int main() {
+	int x = 10;
+	int y = x * 3;
+	print(y);
+	return y;
+}
+`
+	d := session(t, src, compile.O0())
+	if _, err := d.BreakAtStmt("main", 1); err != nil { // y = x*3
+		t.Fatal(err)
+	}
+	bp, err := d.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp == nil {
+		t.Fatal("program halted without hitting breakpoint")
+	}
+	r, err := d.Print("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasVal || r.Val.I != 10 {
+		t.Errorf("x = %+v, want 10", r.Val)
+	}
+	if r.Class.State != core.Current {
+		t.Errorf("x should be current, got %s", r.Class.State)
+	}
+	// y not yet assigned.
+	ry, err := d.Print("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ry.Class.State != core.Uninitialized {
+		t.Errorf("y should be uninitialized, got %s", ry.Class.State)
+	}
+	// Finish the program.
+	bp, err = d.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp != nil {
+		t.Fatal("expected program to halt")
+	}
+	if d.Output() != "30" {
+		t.Errorf("output = %q", d.Output())
+	}
+}
+
+func TestBreakpointInLoopHitsRepeatedly(t *testing.T) {
+	src := `
+int main() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 3; i++) {
+		s = s + i;
+	}
+	return s;
+}
+`
+	d := session(t, src, compile.O0())
+	// Statement IDs: 0:s=0, 1:decl i, 2:for, 3:i=0 (init), 4:body, 5:i++.
+	if _, err := d.BreakAtStmt("main", 4); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	var got []int64
+	for {
+		bp, err := d.Continue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bp == nil {
+			break
+		}
+		hits++
+		r, err := d.Print("i")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r.Val.I)
+		if hits > 10 {
+			t.Fatal("runaway")
+		}
+	}
+	if hits != 3 {
+		t.Errorf("breakpoint hit %d times, want 3 (i values %v)", hits, got)
+	}
+}
+
+func TestDebugOptimizedStaleValue(t *testing.T) {
+	// Figure 3 end-to-end: at runtime the debugger shows the stale actual
+	// value with a warning.
+	src := `
+int g(int c, int a, int b) {
+	int x = a * b;
+	int r = 0;
+	if (c) {
+		r = x;
+	}
+	return r + a;
+}
+int main() { return g(1, 5, 4); }
+`
+	cfg := compile.Config{Opt: opt.Options{PDCE: true, DCE: true}}
+	d := session(t, src, cfg)
+	if _, err := d.BreakAtStmt("g", 1); err != nil { // r = 0
+		t.Fatal(err)
+	}
+	bp, err := d.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp == nil {
+		t.Fatal("did not stop")
+	}
+	r, err := d.Print("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Class.State != core.Noncurrent {
+		t.Errorf("x should be noncurrent, got %s (%s)", r.Class.State, r.Class.Why)
+	}
+	// The actual (stale) value must NOT be 20 = 5*4, since the assignment
+	// was sunk past this point.
+	if r.HasVal && r.Val.I == 20 {
+		t.Errorf("x's runtime value is already 20; the assignment was not actually sunk")
+	}
+	disp := r.Display()
+	if !strings.Contains(disp, "WARNING") {
+		t.Errorf("display must carry a warning: %q", disp)
+	}
+}
+
+func TestDebugRecoveredValue(t *testing.T) {
+	// Figure 4 end-to-end: the eliminated x is recovered from the CSE temp
+	// and the recovered value matches what the source would have computed.
+	src := `
+int h(int y, int z) {
+	int x = y + z;
+	int a = x + 1;
+	int b = x * 2;
+	return a + b;
+}
+int main() { return h(2, 3); }
+`
+	cfg := compile.Config{Opt: opt.Options{AssignProp: true, PRE: true, CopyProp: true, DCE: true}}
+	d := session(t, src, cfg)
+	if _, err := d.BreakAtStmt("h", 2); err != nil { // b = x*2
+		t.Fatal(err)
+	}
+	bp, err := d.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp == nil {
+		t.Fatal("did not stop")
+	}
+	r, err := d.Print("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasRecovered {
+		t.Fatalf("x should be recovered; classification %s (%s)", r.Class.State, r.Class.Why)
+	}
+	if r.RecoveredVal.I != 5 {
+		t.Errorf("recovered x = %d, want 5", r.RecoveredVal.I)
+	}
+	if !strings.Contains(r.Display(), "recovered") {
+		t.Errorf("display should mention recovery: %q", r.Display())
+	}
+}
+
+func TestDebugConstantRecovery(t *testing.T) {
+	src := `
+int main() {
+	int x = 5;
+	int y = 1;
+	x = y + 6;
+	return x;
+}
+`
+	d := session(t, src, compile.Config{Opt: opt.Options{DCE: true}})
+	if _, err := d.BreakAtStmt("main", 1); err != nil {
+		t.Fatal(err)
+	}
+	if bp, err := d.Continue(); err != nil || bp == nil {
+		t.Fatalf("stop failed: %v", err)
+	}
+	r, err := d.Print("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasRecovered || r.RecoveredVal.I != 5 {
+		t.Errorf("x should recover as 5, got %+v (%s)", r, r.Class.Why)
+	}
+}
+
+func TestBreakAtLine(t *testing.T) {
+	src := `int main() {
+	int a = 1;
+	int b = 2;
+	return a + b;
+}
+`
+	d := session(t, src, compile.O0())
+	bp, err := d.BreakAtLine(3) // int b = 2;
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Line != 3 {
+		t.Errorf("breakpoint line = %d, want 3", bp.Line)
+	}
+	hit, err := d.Continue()
+	if err != nil || hit == nil {
+		t.Fatalf("continue: %v", err)
+	}
+	r, _ := d.Print("a")
+	if r.Val.I != 1 {
+		t.Errorf("a = %d", r.Val.I)
+	}
+}
+
+func TestInfoListsAllInScope(t *testing.T) {
+	src := `
+int main() {
+	int a = 1;
+	int b = 2;
+	int c = a + b;
+	return c;
+}
+`
+	d := session(t, src, compile.O0())
+	if _, err := d.BreakAtStmt("main", 2); err != nil {
+		t.Fatal(err)
+	}
+	if bp, err := d.Continue(); err != nil || bp == nil {
+		t.Fatalf("stop failed: %v", err)
+	}
+	reports, err := d.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Errorf("info listed %d vars, want 3 (a, b, c)", len(reports))
+	}
+}
+
+func TestDebugWithFullO2AndRegalloc(t *testing.T) {
+	// The debugger must never crash or mislead on fully optimized code:
+	// every in-scope variable at every breakpoint gets a classification.
+	src := `
+int work(int n) {
+	int acc = 0;
+	int i;
+	int t = n * 2;
+	for (i = 0; i < n; i++) {
+		acc = acc + i * t;
+	}
+	int unused = acc * 3;
+	return acc;
+}
+int main() { return work(6); }
+`
+	d := session(t, src, compile.O2())
+	f := d.Res.Mach.LookupFunc("work")
+	a := d.analysisOf(f)
+	for s := 0; s < f.Decl.NumStmts; s++ {
+		cs, ok := a.ClassifyAllAt(s)
+		if !ok {
+			continue
+		}
+		for _, c := range cs {
+			if c.State == core.Noncurrent || c.State == core.Suspect {
+				if c.Why == "" {
+					t.Errorf("endangered %s at stmt %d lacks a warning", c.Var.Name, s)
+				}
+			}
+		}
+	}
+}

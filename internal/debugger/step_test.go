@@ -1,0 +1,146 @@
+package debugger
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+)
+
+func TestStepWalksStatements(t *testing.T) {
+	src := `
+int main() {
+	int a = 1;
+	int b = 2;
+	int c = a + b;
+	print(c);
+	return c;
+}
+`
+	d := session(t, src, compile.O0())
+	var stmts []int
+	for i := 0; i < 20; i++ {
+		bp, err := d.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bp == nil {
+			break
+		}
+		stmts = append(stmts, bp.Stmt)
+	}
+	if len(stmts) < 3 {
+		t.Fatalf("stepped through only %v", stmts)
+	}
+	// Statements must be visited in increasing order in straight-line code.
+	for i := 1; i < len(stmts); i++ {
+		if stmts[i] < stmts[i-1] {
+			t.Errorf("step went backwards: %v", stmts)
+			break
+		}
+	}
+	if !d.Halted() {
+		t.Error("program should have halted")
+	}
+	if d.Output() != "3" {
+		t.Errorf("output = %q", d.Output())
+	}
+}
+
+func TestStepIntoCall(t *testing.T) {
+	src := `
+int twice(int v) {
+	int r = v * 2;
+	return r;
+}
+int main() {
+	int x = twice(21);
+	return x;
+}
+`
+	d := session(t, src, compile.O0())
+	enteredCallee := false
+	for i := 0; i < 30; i++ {
+		bp, err := d.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bp == nil {
+			break
+		}
+		if bp.Fn.Name == "twice" {
+			enteredCallee = true
+			// Inside the callee the debugger can inspect its locals.
+			if r, err := d.Print("v"); err != nil || !r.HasVal || r.Val.I != 21 {
+				t.Errorf("print v in callee: %+v, %v", r, err)
+			}
+		}
+	}
+	if !enteredCallee {
+		t.Error("step never entered the callee")
+	}
+}
+
+func TestStepOnOptimizedCode(t *testing.T) {
+	src := `
+int main() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 4; i++) {
+		s = s + i;
+	}
+	print(s);
+	return s;
+}
+`
+	d := session(t, src, compile.O2())
+	steps := 0
+	for i := 0; i < 200 && !d.Halted(); i++ {
+		bp, err := d.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bp == nil {
+			break
+		}
+		steps++
+		// Every stop must be classifiable.
+		if _, err := d.Info(); err != nil {
+			t.Fatalf("info at step %d: %v", steps, err)
+		}
+	}
+	if steps == 0 {
+		t.Fatal("no steps on optimized code")
+	}
+	if d.Output() != "6" {
+		t.Errorf("output = %q", d.Output())
+	}
+}
+
+func TestPrintGlobal(t *testing.T) {
+	src := `
+int counter = 41;
+int main() {
+	int x = 1;
+	counter = counter + x;
+	return counter;
+}
+`
+	d := session(t, src, compile.O0())
+	if _, err := d.BreakAtStmt("main", 1); err != nil {
+		t.Fatal(err)
+	}
+	if bp, err := d.Continue(); err != nil || bp == nil {
+		t.Fatalf("stop: %v", err)
+	}
+	r, err := d.Print("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasVal || r.Val.I != 41 {
+		t.Errorf("counter = %+v, want 41", r.Val)
+	}
+	if r.Class.State != core.Current {
+		t.Errorf("global should be current, got %s", r.Class.State)
+	}
+}

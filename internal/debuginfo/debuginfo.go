@@ -1,0 +1,120 @@
+// Package debuginfo builds the symbol-table side of the debugger: the map
+// from source statements (the breakpoint unit) to locations in the final
+// machine code, and scope queries for variables. It implements the paper's
+// *syntactic* breakpoint model, which §5 argues is sufficient because
+// source-level assignments are almost never hoisted.
+package debuginfo
+
+import (
+	"repro/internal/ast"
+	"repro/internal/mach"
+)
+
+// Loc is a code location: instruction Idx within Block (before execution).
+type Loc struct {
+	Block *mach.Block
+	Idx   int
+}
+
+// Table holds per-function debug information.
+type Table struct {
+	Fn *mach.Func
+	// stmtLoc[s] is the chosen breakpoint location for statement s
+	// (nil Block = no location).
+	stmtLoc []Loc
+	// NumStmts mirrors the frontend's statement count.
+	NumStmts int
+}
+
+// Build computes the statement table for f.
+//
+// The breakpoint location of statement s is the instruction of s that
+// appears in the final code and is original (not inserted by an
+// optimization), with the smallest emission index — or, if every
+// instruction of s was deleted, the marker left in its place. Statements
+// with no code at all (e.g. plain declarations) fall back at query time to
+// the next statement that has a location.
+func Build(f *mach.Func) *Table {
+	t := &Table{Fn: f, NumStmts: f.Decl.NumStmts}
+	t.stmtLoc = make([]Loc, t.NumStmts)
+	best := make([]int, t.NumStmts) // OrigIdx of current best; -1 none
+	rank := make([]int, t.NumStmts) // 0 none, 1 inserted-only, 2 marker, 3 original
+	for i := range best {
+		best[i] = -1
+	}
+	for _, b := range f.Blocks {
+		for idx, in := range b.Instrs {
+			s := in.Stmt
+			if s < 0 || s >= t.NumStmts {
+				continue
+			}
+			r := 1
+			if in.IsMarker() {
+				r = 2
+			} else if !in.Ann.Hoisted && !in.Ann.Sunk && in.Ann.InsertedBy == "" {
+				r = 3
+			}
+			if r > rank[s] || (r == rank[s] && in.OrigIdx < best[s]) {
+				rank[s] = r
+				best[s] = in.OrigIdx
+				t.stmtLoc[s] = Loc{Block: b, Idx: idx}
+			}
+		}
+	}
+	return t
+}
+
+// LocOf returns the breakpoint location for statement s, falling back to
+// the next statement with code. ok is false when no location exists at or
+// after s.
+func (t *Table) LocOf(s int) (Loc, bool) {
+	for x := s; x < t.NumStmts; x++ {
+		if t.stmtLoc[x].Block != nil {
+			return t.stmtLoc[x], true
+		}
+	}
+	return Loc{}, false
+}
+
+// HasOwnLoc reports whether statement s maps to its own code (no fallback).
+func (t *Table) HasOwnLoc(s int) bool {
+	return s >= 0 && s < t.NumStmts && t.stmtLoc[s].Block != nil
+}
+
+// InScope reports whether variable v is in scope at statement s.
+func InScope(v *ast.Object, s int) bool {
+	return s >= v.ScopeStart && s < v.ScopeEnd
+}
+
+// VarsInScope returns the function's locals (and parameters) in scope at s.
+func (t *Table) VarsInScope(s int) []*ast.Object {
+	var out []*ast.Object
+	for _, v := range t.Fn.Decl.Locals {
+		if InScope(v, s) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StmtOfLoc returns the statement whose code region covers the given
+// location, preferring the instruction's own Stmt tag: this is the map the
+// debugger uses to report faults and interrupts in source terms.
+func StmtOfLoc(l Loc) int {
+	if l.Block == nil {
+		return -1
+	}
+	// The instruction itself knows its statement; scan backward for the
+	// nearest tagged instruction if this one is synthetic.
+	for i := l.Idx; i >= 0; i-- {
+		if i < len(l.Block.Instrs) && l.Block.Instrs[i].Stmt >= 0 {
+			return l.Block.Instrs[i].Stmt
+		}
+	}
+	for i := l.Idx + 1; i < len(l.Block.Instrs); i++ {
+		if l.Block.Instrs[i].Stmt >= 0 {
+			return l.Block.Instrs[i].Stmt
+		}
+	}
+	return -1
+}

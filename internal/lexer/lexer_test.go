@@ -1,0 +1,136 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func scan(t *testing.T, src string) []token.Token {
+	t.Helper()
+	var errs source.ErrorList
+	toks := New(source.NewFile("test.mc", src), &errs).ScanAll()
+	if errs.Len() > 0 {
+		t.Fatalf("scan errors: %v", errs.Err())
+	}
+	return toks
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanBasics(t *testing.T) {
+	toks := scan(t, "int x = 41 + 1;")
+	want := []token.Kind{token.KwInt, token.IDENT, token.ASSIGN, token.INTLIT,
+		token.PLUS, token.INTLIT, token.SEMI, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"+": token.PLUS, "-": token.MINUS, "*": token.STAR, "/": token.SLASH,
+		"%": token.PERCENT, "==": token.EQ, "!=": token.NEQ, "<": token.LT,
+		"<=": token.LEQ, ">": token.GT, ">=": token.GEQ, "&&": token.ANDAND,
+		"||": token.OROR, "!": token.NOT, "<<": token.SHL, ">>": token.SHR,
+		"++": token.INC, "--": token.DEC, "+=": token.PLUSASSIGN,
+		"-=": token.MINUSASSIGN, "*=": token.STARASSIGN, "/=": token.SLASHASSIGN,
+		"&": token.AMP, "|": token.OR, "^": token.XOR, "=": token.ASSIGN,
+	}
+	for src, want := range cases {
+		toks := scan(t, src)
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %s, want %s", src, toks[0].Kind, want)
+		}
+		if toks[1].Kind != token.EOF {
+			t.Errorf("%q: expected single token", src)
+		}
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	toks := scan(t, "1 23 1.5 0.25 1e3 2.5e-2 7")
+	wantKinds := []token.Kind{token.INTLIT, token.INTLIT, token.FLOATLIT,
+		token.FLOATLIT, token.FLOATLIT, token.FLOATLIT, token.INTLIT, token.EOF}
+	got := kinds(toks)
+	for i := range wantKinds {
+		if got[i] != wantKinds[i] {
+			t.Errorf("token %d (%s): got %s, want %s", i, toks[i].Lit, got[i], wantKinds[i])
+		}
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	toks := scan(t, "a // line comment\nb /* block\ncomment */ c")
+	got := kinds(toks)
+	want := []token.Kind{token.IDENT, token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanKeywords(t *testing.T) {
+	toks := scan(t, "if else while for do return break continue int float void print")
+	want := []token.Kind{token.KwIf, token.KwElse, token.KwWhile, token.KwFor,
+		token.KwDo, token.KwReturn, token.KwBreak, token.KwContinue,
+		token.KwInt, token.KwFloat, token.KwVoid, token.KwPrint, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanCharAndString(t *testing.T) {
+	toks := scan(t, `'a' '\n' "hello\n"`)
+	if toks[0].Kind != token.CHARLIT || toks[0].Lit != "a" {
+		t.Errorf("char: got %v", toks[0])
+	}
+	if toks[1].Kind != token.CHARLIT || toks[1].Lit != "\n" {
+		t.Errorf("escape char: got %v", toks[1])
+	}
+	if toks[2].Kind != token.STRLIT || toks[2].Lit != "hello\n" {
+		t.Errorf("string: got %v", toks[2])
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	f := source.NewFile("t.mc", "ab\ncd")
+	var errs source.ErrorList
+	toks := New(f, &errs).ScanAll()
+	if p := f.Position(source.Pos(toks[1].Pos)); p.Line != 2 || p.Col != 1 {
+		t.Errorf("second token at %v, want line 2 col 1", p)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	var errs source.ErrorList
+	New(source.NewFile("t.mc", "@"), &errs).ScanAll()
+	if errs.Len() == 0 {
+		t.Error("expected error for illegal character")
+	}
+	errs = source.ErrorList{}
+	New(source.NewFile("t.mc", "/* unterminated"), &errs).ScanAll()
+	if errs.Len() == 0 {
+		t.Error("expected error for unterminated comment")
+	}
+}

@@ -1,0 +1,288 @@
+// Package lower performs code selection from the mid-level IR to the
+// machine-level representation. Per §3 of the paper, "during code
+// selection, annotations are transferred from nodes in the
+// machine-independent IR to the selected instructions" and "IR marker nodes
+// are lowered to special marker instructions" — Lower copies Ann, Stmt and
+// OrigIdx onto every selected instruction and keeps the IR's dense value
+// numbering as the virtual register space, so the debugger can relate
+// machine registers back to source variables.
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/mach"
+)
+
+// Lower translates the whole program.
+func Lower(p *ir.Program) *mach.Program {
+	mp := &mach.Program{
+		Globals:    p.Globals,
+		GlobalOff:  map[*ast.Object]int64{},
+		GlobalInit: p.GlobalInit,
+	}
+	var off int64
+	for _, g := range p.Globals {
+		mp.GlobalOff[g] = off
+		sz := int64(g.Type.Size())
+		if sz == 0 {
+			sz = 4
+		}
+		off += sz
+	}
+	mp.GlobalSize = off
+	for _, f := range p.Funcs {
+		mp.Funcs = append(mp.Funcs, lowerFunc(f))
+	}
+	return mp
+}
+
+func lowerFunc(f *ir.Func) *mach.Func {
+	numVars := len(f.Decl.Locals)
+	mf := &mach.Func{
+		Name:     f.Name,
+		Decl:     f.Decl,
+		NumVars:  numVars,
+		NumVregs: numVars + f.NumTemps,
+		FrameOff: map[*ast.Object]int64{},
+		VarLoc:   map[*ast.Object]mach.Loc{},
+	}
+
+	// Frame layout.
+	var off int64
+	for _, o := range f.FrameObjects {
+		mf.FrameObjects = append(mf.FrameObjects, o)
+		mf.FrameOff[o] = off
+		sz := int64(o.Type.Size())
+		if sz == 0 {
+			sz = 4
+		}
+		off += sz
+	}
+	mf.FrameSize = off
+
+	// Blocks map 1:1.
+	blockOf := map[*ir.Block]*mach.Block{}
+	for _, b := range f.Blocks {
+		blockOf[b] = mf.NewBlock()
+	}
+	mf.Entry = blockOf[f.Entry]
+
+	for _, b := range f.Blocks {
+		mb := blockOf[b]
+		for _, in := range b.Instrs {
+			m := selectInstr(mf, numVars, in)
+			tagVars(mf, m)
+			mb.Instrs = append(mb.Instrs, m)
+		}
+		for _, s := range b.Succs {
+			mb.Succs = append(mb.Succs, blockOf[s])
+		}
+	}
+	mf.RecomputePreds()
+
+	// Loop depths for spill heuristics.
+	g := graphOf(mf)
+	_, depth := dataflow.FindLoops(g, 0)
+	for i, b := range mf.Blocks {
+		b.LoopDepth = depth[i]
+	}
+	return mf
+}
+
+func graphOf(f *mach.Func) dataflow.Graph {
+	idx := map[*mach.Block]int{}
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	g := dataflow.Graph{N: len(f.Blocks), Succs: make([][]int, len(f.Blocks)), Preds: make([][]int, len(f.Blocks))}
+	for i, b := range f.Blocks {
+		for _, s := range b.Succs {
+			g.Succs[i] = append(g.Succs[i], idx[s])
+			g.Preds[idx[s]] = append(g.Preds[idx[s]], i)
+		}
+	}
+	return g
+}
+
+// tagVars records which source variables the instruction defines and reads
+// while the register numbering still identifies them (vregs below NumVars
+// are the promoted variables).
+func tagVars(mf *mach.Func, m *mach.Instr) {
+	varOf := func(o mach.Opd) *ast.Object {
+		if o.Kind == mach.Reg && o.R < mf.NumVars {
+			return mf.Decl.Locals[o.R]
+		}
+		return nil
+	}
+	if d := m.Def(); d.Kind == mach.Reg {
+		m.DefObj = varOf(d)
+	}
+	var buf []mach.Opd
+	buf = m.Uses(buf)
+	for _, u := range buf {
+		if v := varOf(u); v != nil {
+			m.UseObjs = append(m.UseObjs, v)
+		}
+	}
+}
+
+// opd converts an IR operand to a machine operand under the shared value
+// numbering (vars first, temps after).
+func opd(numVars int, o ir.Operand) mach.Opd {
+	switch o.Kind {
+	case ir.Var:
+		cls := mach.IntClass
+		if o.Ty == ir.F {
+			cls = mach.FloatClass
+		}
+		return mach.Opd{Kind: mach.Reg, Class: cls, R: o.Obj.ID}
+	case ir.Temp:
+		cls := mach.IntClass
+		if o.Ty == ir.F {
+			cls = mach.FloatClass
+		}
+		return mach.Opd{Kind: mach.Reg, Class: cls, R: numVars + o.TID}
+	case ir.ConstI:
+		return mach.I_(o.Int)
+	case ir.ConstF:
+		return mach.F_(o.Fl)
+	}
+	return mach.Opd{}
+}
+
+var intBin = map[ir.Op]mach.Opcode{
+	ir.Add: mach.ADD, ir.Sub: mach.SUB, ir.Mul: mach.MUL, ir.Div: mach.DIV,
+	ir.Rem: mach.REM, ir.Shl: mach.SHL, ir.Shr: mach.SHR, ir.BOr: mach.OR,
+	ir.BXor: mach.XOR, ir.Eq: mach.SEQ, ir.Ne: mach.SNE, ir.Lt: mach.SLT,
+	ir.Le: mach.SLE, ir.Gt: mach.SGT, ir.Ge: mach.SGE,
+}
+
+var floatBin = map[ir.Op]mach.Opcode{
+	ir.Add: mach.FADD, ir.Sub: mach.FSUB, ir.Mul: mach.FMUL, ir.Div: mach.FDIV,
+	ir.Eq: mach.FSEQ, ir.Ne: mach.FSNE, ir.Lt: mach.FSLT,
+	ir.Le: mach.FSLE, ir.Gt: mach.FSGT, ir.Ge: mach.FSGE,
+}
+
+func selectInstr(mf *mach.Func, numVars int, in *ir.Instr) *mach.Instr {
+	m := &mach.Instr{Stmt: in.Stmt, OrigIdx: in.OrigIdx, Ann: in.Ann}
+	switch in.Kind {
+	case ir.BinOp:
+		isFloat := in.A.Ty == ir.F || in.B.Ty == ir.F
+		if isFloat {
+			m.Op = floatBin[in.Op]
+		} else {
+			m.Op = intBin[in.Op]
+		}
+		if m.Op == mach.NOP {
+			panic(fmt.Sprintf("lower: no opcode for %s (float=%v)", in.Op, isFloat))
+		}
+		m.Dst = opd(numVars, in.Dst)
+		m.A = opd(numVars, in.A)
+		m.B = opd(numVars, in.B)
+
+	case ir.UnOp:
+		switch in.Op {
+		case ir.Neg:
+			if in.Dst.Ty == ir.F {
+				m.Op = mach.FNEG
+			} else {
+				m.Op = mach.NEG
+			}
+		case ir.Not:
+			m.Op = mach.NOT
+		case ir.CvIF:
+			m.Op = mach.CVTIF
+		case ir.CvFI:
+			m.Op = mach.CVTFI
+		}
+		m.Dst = opd(numVars, in.Dst)
+		m.A = opd(numVars, in.A)
+
+	case ir.Copy:
+		m.Op = mach.MOV
+		m.Dst = opd(numVars, in.Dst)
+		m.A = opd(numVars, in.A)
+
+	case ir.Load:
+		if in.Dst.Ty == ir.F {
+			m.Op = mach.FLW
+		} else {
+			m.Op = mach.LW
+		}
+		m.Dst = opd(numVars, in.Dst)
+		m.A = opd(numVars, in.A)
+		m.Off = in.Off
+
+	case ir.Store:
+		if in.B.Ty == ir.F {
+			m.Op = mach.FSW
+		} else {
+			m.Op = mach.SW
+		}
+		m.A = opd(numVars, in.A)
+		m.B = opd(numVars, in.B)
+		m.Off = in.Off
+
+	case ir.Addr:
+		m.Op = mach.LA
+		m.Dst = opd(numVars, in.Dst)
+		m.Sym = in.AddrObj
+
+	case ir.Call:
+		m.Op = mach.CALL
+		m.Callee = in.Callee
+		for _, a := range in.Args {
+			m.Args = append(m.Args, opd(numVars, a))
+		}
+		if in.Dst.Valid() {
+			m.Dst = opd(numVars, in.Dst)
+		}
+
+	case ir.Print:
+		m.Op = mach.PRINT
+		for _, a := range in.PrintFmt {
+			if a.IsStr {
+				m.PrintFmt = append(m.PrintFmt, mach.PrintArg{Str: a.Str, IsStr: true})
+			} else {
+				m.PrintFmt = append(m.PrintFmt, mach.PrintArg{Val: opd(numVars, a.Val)})
+			}
+		}
+
+	case ir.Ret:
+		m.Op = mach.RET
+		if in.A.Valid() {
+			m.A = opd(numVars, in.A)
+		}
+
+	case ir.Jmp:
+		m.Op = mach.J
+
+	case ir.Br:
+		m.Op = mach.BNEZ
+		m.A = opd(numVars, in.A)
+
+	case ir.GetParam:
+		m.Op = mach.GETP
+		m.Dst = opd(numVars, in.Dst)
+		m.ParamIdx = in.ParamIdx
+
+	case ir.MarkDead:
+		m.Op = mach.MARKDEAD
+		m.MarkObj = in.MarkObj
+		if in.A.Valid() {
+			m.MarkAlias = opd(numVars, in.A)
+		}
+
+	case ir.MarkAvail:
+		m.Op = mach.MARKAVAIL
+		m.MarkObj = in.MarkObj
+
+	default:
+		panic(fmt.Sprintf("lower: unknown IR instruction kind %d", in.Kind))
+	}
+	return m
+}

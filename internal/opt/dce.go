@@ -1,0 +1,145 @@
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// DCE performs dead-assignment elimination: an instruction defining a Var
+// or Temp whose value is dead immediately after it, with no side effects,
+// is removed. Per §3 of the paper, an eliminated assignment to a *source
+// variable* is replaced by a MarkDead marker (unless the instruction was
+// itself inserted by hoisting or sinking), which the debugger's dead-reach
+// analysis consumes. The pass iterates to a fixed point and reports whether
+// anything changed.
+func DCE(f *ir.Func) bool {
+	changedAny := false
+	for {
+		changed := false
+		lv := computeLiveness(f)
+		for bi, b := range f.Blocks {
+			after := lv.liveAfter(f, bi)
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				if !removableKind(in) || !in.HasDst() {
+					continue
+				}
+				k := lv.space.indexOf(in.Dst)
+				if k < 0 || after[i].Has(k) {
+					continue
+				}
+				// Dead assignment.
+				if in.Dst.Kind == ir.Var && !in.Ann.Hoisted && !in.Ann.Sunk && in.Stmt >= 0 {
+					m := &ir.Instr{
+						Kind:    ir.MarkDead,
+						MarkObj: in.Dst.Obj,
+						Stmt:    in.Stmt,
+						OrigIdx: in.OrigIdx,
+					}
+					// Record the eliminated right-hand side when it is a
+					// simple operand: the debugger can then *recover* the
+					// expected value (constant residence, or alias while
+					// the source operand is unchanged).
+					if in.Kind == ir.Copy {
+						m.A = in.A
+					}
+					b.Instrs[i] = m
+				} else {
+					b.RemoveAt(i)
+				}
+				changed = true
+				changedAny = true
+			}
+		}
+		if !changed {
+			return changedAny
+		}
+	}
+}
+
+// removableKind reports whether in has no side effects besides its Dst.
+func removableKind(in *ir.Instr) bool {
+	switch in.Kind {
+	case ir.BinOp, ir.UnOp, ir.Copy, ir.Load, ir.Addr, ir.GetParam:
+		return true
+	}
+	return false
+}
+
+// FaintDCE eliminates *faint* values: self-sustaining def cycles (most
+// importantly "i = i + 1" updates of induction variables whose other uses
+// were removed by linear function test replacement) that ordinary
+// liveness-based DCE cannot remove because the value keeps itself alive
+// around the loop. An instruction is needed if it has side effects or if
+// its destination feeds a needed instruction; everything else is removed,
+// with the usual MarkDead bookkeeping for source-variable assignments.
+func FaintDCE(f *ir.Func) bool {
+	sp := spaceOf(f)
+
+	// strong[k]: value k is read by some needed instruction.
+	strong := make([]bool, sp.size())
+	needed := map[*ir.Instr]bool{}
+	var buf []ir.Operand
+
+	sideEffecting := func(in *ir.Instr) bool {
+		switch in.Kind {
+		case ir.Store, ir.Call, ir.Print, ir.Ret, ir.Jmp, ir.Br, ir.MarkDead, ir.MarkAvail:
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if needed[in] {
+					continue
+				}
+				need := sideEffecting(in)
+				if !need && in.HasDst() {
+					if k := sp.indexOf(in.Dst); k >= 0 && strong[k] {
+						need = true
+					} else if k < 0 {
+						need = true // unusual destination; keep
+					}
+				}
+				if need {
+					needed[in] = true
+					changed = true
+					buf = in.Uses(buf[:0])
+					for _, u := range buf {
+						if k := sp.indexOf(u); k >= 0 && !strong[k] {
+							strong[k] = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	removed := false
+	for _, b := range f.Blocks {
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if needed[in] || !removableKind(in) || !in.HasDst() {
+				continue
+			}
+			if in.Dst.Kind == ir.Var && !in.Ann.Hoisted && !in.Ann.Sunk && in.Stmt >= 0 {
+				m := &ir.Instr{
+					Kind:    ir.MarkDead,
+					MarkObj: in.Dst.Obj,
+					Stmt:    in.Stmt,
+					OrigIdx: in.OrigIdx,
+				}
+				if in.Kind == ir.Copy {
+					m.A = in.A
+				}
+				b.Instrs[i] = m
+			} else {
+				b.RemoveAt(i)
+			}
+			removed = true
+		}
+	}
+	return removed
+}

@@ -1,0 +1,149 @@
+package opt
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// maxUnrollInstrs bounds the size of loops considered for unrolling and
+// peeling.
+const maxUnrollInstrs = 30
+
+// Unroll unrolls innermost small loops by a factor of two, keeping the exit
+// test in each copy (so no trip-count knowledge is required). Per §3 of the
+// paper, code duplication does not create data-value problems, but marker
+// pseudo-instructions and annotations inside the duplicated blocks must be
+// duplicated along with the code — Instr.Clone preserves both.
+func Unroll(f *ir.Func) bool {
+	return transformInnermost(f, func(f *ir.Func, g dataflow.Graph, l *dataflow.Loop) bool {
+		return cloneLoopIteration(f, g, l, false)
+	})
+}
+
+// Peel peels one iteration off innermost small loops: the cloned iteration
+// runs before the loop proper.
+func Peel(f *ir.Func) bool {
+	return transformInnermost(f, func(f *ir.Func, g dataflow.Graph, l *dataflow.Loop) bool {
+		return cloneLoopIteration(f, g, l, true)
+	})
+}
+
+func transformInnermost(f *ir.Func, apply func(*ir.Func, dataflow.Graph, *dataflow.Loop) bool) bool {
+	changed := false
+	done := map[*ir.Block]bool{} // headers already transformed
+	// Transform one loop at a time: every transformation invalidates block
+	// indices (blocks are added and unreachable ones removed), so loop
+	// discovery restarts after each change.
+	for round := 0; round < 64; round++ {
+		g, _ := graphOf(f)
+		loops, _ := dataflow.FindLoops(g, 0)
+		applied := false
+		for _, l := range loops {
+			if done[f.Blocks[l.Header]] {
+				continue
+			}
+			// Innermost only: no other loop's header inside this loop.
+			inner := true
+			for _, o := range loops {
+				if o != l && l.Blocks[o.Header] {
+					inner = false
+					break
+				}
+			}
+			if !inner {
+				continue
+			}
+			size := 0
+			for bi := range l.Blocks {
+				size += len(f.Blocks[bi].Instrs)
+			}
+			done[f.Blocks[l.Header]] = true
+			if size > maxUnrollInstrs {
+				continue
+			}
+			if apply(f, g, l) {
+				changed = true
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			break
+		}
+	}
+	return changed
+}
+
+// cloneLoopIteration clones the whole loop subgraph once. With peel=false
+// the clone is spliced into the back edges (original latches jump to the
+// cloned header, cloned latches jump back to the original header):
+// unrolling by two. With peel=true the clone is spliced into the entry
+// edges (outside predecessors jump to the cloned header, cloned latches
+// continue into the original header): peeling one iteration. Cloned exit
+// edges keep their original targets in both cases.
+func cloneLoopIteration(f *ir.Func, g dataflow.Graph, l *dataflow.Loop, peel bool) bool {
+	header := f.Blocks[l.Header]
+
+	// Deterministic ordering of loop blocks.
+	var loopBlocks []*ir.Block
+	for bi := 0; bi < g.N; bi++ {
+		if l.Blocks[bi] {
+			loopBlocks = append(loopBlocks, f.Blocks[bi])
+		}
+	}
+
+	// Clone blocks and instructions.
+	cloneOf := map[*ir.Block]*ir.Block{}
+	for _, b := range loopBlocks {
+		nb := f.NewBlock()
+		for _, in := range b.Instrs {
+			c := in.Clone()
+			c.OrigIdx = f.NextOrig()
+			nb.Instrs = append(nb.Instrs, c)
+		}
+		cloneOf[b] = nb
+	}
+	// Wire clone successors: intra-loop edges stay inside the clone except
+	// edges back to the header, which leave the clone (to the original
+	// header — advancing the "other" copy of the iteration).
+	for _, b := range loopBlocks {
+		nb := cloneOf[b]
+		for _, s := range b.Succs {
+			switch {
+			case s == header:
+				nb.Succs = append(nb.Succs, header)
+			case cloneOf[s] != nil:
+				nb.Succs = append(nb.Succs, cloneOf[s])
+			default:
+				nb.Succs = append(nb.Succs, s) // exit edge
+			}
+		}
+	}
+
+	clonedHeader := cloneOf[header]
+	if peel {
+		// Entry edges from outside the loop go to the cloned header.
+		for _, p := range header.Preds {
+			if !l.Blocks[indexOfBlock(f, p)] {
+				p.ReplaceSucc(header, clonedHeader)
+			}
+		}
+	} else {
+		// Back edges from original latches go to the cloned header.
+		for _, latch := range l.Latches {
+			f.Blocks[latch].ReplaceSucc(header, clonedHeader)
+		}
+	}
+	f.RecomputePreds()
+	f.RemoveUnreachable()
+	return true
+}
+
+func indexOfBlock(f *ir.Func, b *ir.Block) int {
+	for i, x := range f.Blocks {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,276 @@
+// Package randprog generates random but well-formed, terminating MiniC
+// programs for differential testing of the compiler: a generated program
+// must print exactly the same output at every optimization level, so any
+// divergence pinpoints a miscompilation. Generation is deterministic in
+// the seed.
+//
+// Guarantees by construction: all loops have constant trip counts, array
+// indices are loop variables or reduced modulo the array length against
+// nonnegative values, divisions and remainders have strictly positive
+// divisors, and all variables are initialized before use.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Gen produces one random program.
+func Gen(seed int64) string {
+	g := &gen{r: rand.New(rand.NewSource(seed))}
+	return g.program()
+}
+
+type gen struct {
+	r   *rand.Rand
+	buf strings.Builder
+	ind int
+
+	// in-scope integer variable names (initialized)
+	ivars []string
+	// enclosing loop index variables (always 0..bound-1)
+	loopVars []string
+	names    int
+
+	funcs []funcSig
+}
+
+type funcSig struct {
+	name   string
+	params int
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.buf.WriteString(strings.Repeat("\t", g.ind))
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.names++
+	return fmt.Sprintf("%s%d", prefix, g.names)
+}
+
+func (g *gen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
+
+// assignable returns the variables statements may write: everything in
+// scope except enclosing loop indices (writing those could make a loop
+// run forever, breaking the termination guarantee).
+func (g *gen) assignable() []string {
+	isLoop := map[string]bool{}
+	for _, v := range g.loopVars {
+		isLoop[v] = true
+	}
+	var out []string
+	for _, v := range g.ivars {
+		if !isLoop[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// intExpr produces an int-valued expression of bounded depth over the
+// initialized variables.
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(200)-100)
+		default:
+			if len(g.ivars) == 0 {
+				return fmt.Sprintf("%d", g.r.Intn(50))
+			}
+			return g.pick(g.ivars)
+		}
+	}
+	a := g.intExpr(depth - 1)
+	b := g.intExpr(depth - 1)
+	switch g.r.Intn(8) {
+	case 0, 1:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 2, 3:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 4:
+		// keep products small to avoid 32-bit surprises dominating
+		return fmt.Sprintf("(%s * %s %% 8191)", a, b)
+	case 5:
+		// guarded division: divisor in [1, 9]
+		return fmt.Sprintf("(%s / ((%s %% 9 + 9) %% 9 + 1))", a, b)
+	case 6:
+		return fmt.Sprintf("(%s %% ((%s %% 7 + 7) %% 7 + 1))", a, b)
+	default:
+		if len(g.funcs) > 0 && depth >= 2 && g.r.Intn(2) == 0 {
+			return g.call(depth - 1)
+		}
+		return fmt.Sprintf("(%s + %s)", a, b)
+	}
+}
+
+func (g *gen) call(depth int) string {
+	f := g.funcs[g.r.Intn(len(g.funcs))]
+	args := make([]string, f.params)
+	for i := range args {
+		args[i] = g.intExpr(depth - 1)
+	}
+	return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+}
+
+// cond produces a boolean-ish condition.
+func (g *gen) cond(depth int) string {
+	ops := []string{"<", ">", "<=", ">=", "==", "!="}
+	c := fmt.Sprintf("%s %s %s", g.intExpr(depth), ops[g.r.Intn(len(ops))], g.intExpr(depth))
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s && %s", c,
+			fmt.Sprintf("%s %s %s", g.intExpr(1), ops[g.r.Intn(len(ops))], g.intExpr(1)))
+	case 1:
+		return fmt.Sprintf("%s || %s", c,
+			fmt.Sprintf("%s %s %s", g.intExpr(1), ops[g.r.Intn(len(ops))], g.intExpr(1)))
+	}
+	return c
+}
+
+// stmt emits one random statement. arr names a local array (or "").
+func (g *gen) stmt(depth int, arr string, arrLen int) {
+	n := g.r.Intn(10)
+	switch {
+	case n < 3: // new variable
+		v := g.fresh("v")
+		g.w("int %s = %s;", v, g.intExpr(2))
+		g.ivars = append(g.ivars, v)
+
+	case n < 6 && len(g.assignable()) > 0: // assignment (plain or compound)
+		v := g.pick(g.assignable())
+		switch g.r.Intn(4) {
+		case 0:
+			g.w("%s += %s;", v, g.intExpr(2))
+		case 1:
+			g.w("%s -= %s;", v, g.intExpr(1))
+		case 2:
+			g.w("%s++;", v)
+		default:
+			g.w("%s = %s;", v, g.intExpr(2))
+		}
+
+	case n < 7 && depth > 0: // if/else
+		g.w("if (%s) {", g.cond(1))
+		g.block(depth-1, 1+g.r.Intn(2), arr, arrLen)
+		if g.r.Intn(2) == 0 {
+			g.w("} else {")
+			g.block(depth-1, 1+g.r.Intn(2), arr, arrLen)
+		}
+		g.w("}")
+
+	case n < 8 && depth > 0 && len(g.loopVars) < 2: // bounded for loop
+		i := g.fresh("i")
+		bound := 2 + g.r.Intn(6)
+		g.w("for (int %s = 0; %s < %d; %s++) {", i, i, bound, i)
+		g.ivars = append(g.ivars, i)
+		g.loopVars = append(g.loopVars, i)
+		g.block(depth-1, 1+g.r.Intn(2), arr, arrLen)
+		g.loopVars = g.loopVars[:len(g.loopVars)-1]
+		g.ivars = g.ivars[:len(g.ivars)-1]
+		g.w("}")
+
+	case n < 9 && arr != "" && len(g.loopVars) > 0: // array access via loop var
+		i := g.pick(g.loopVars)
+		if g.r.Intn(2) == 0 || len(g.assignable()) == 0 {
+			g.w("%s[%s %% %d] = %s;", arr, i, arrLen, g.intExpr(1))
+		} else {
+			g.w("%s = %s + %s[%s %% %d];", g.pick(g.assignable()), g.pick(g.ivars), arr, i, arrLen)
+		}
+
+	default: // fold something into the checksum
+		if len(g.ivars) > 0 {
+			g.w("chk = (chk * 31 + %s) %% 65521;", g.pick(g.ivars))
+		} else {
+			g.w("chk = (chk + 1) %% 65521;")
+		}
+	}
+}
+
+func (g *gen) block(depth, stmts int, arr string, arrLen int) {
+	g.ind++
+	mark := len(g.ivars)
+	for i := 0; i < stmts; i++ {
+		g.stmt(depth, arr, arrLen)
+	}
+	g.ivars = g.ivars[:mark]
+	g.ind--
+}
+
+// helper emits one helper function with p int parameters; its body is
+// branchy straight-line arithmetic plus at most one bounded loop.
+func (g *gen) helper(name string, p int) {
+	params := make([]string, p)
+	saved := g.ivars
+	g.ivars = nil
+	for i := range params {
+		pn := fmt.Sprintf("p%d", i)
+		params[i] = "int " + pn
+		g.ivars = append(g.ivars, pn)
+	}
+	g.w("int %s(%s) {", name, strings.Join(params, ", "))
+	g.ind++
+	g.w("int chk = 1;")
+	g.ivars = append(g.ivars, "chk")
+	nst := 2 + g.r.Intn(4)
+	for i := 0; i < nst; i++ {
+		g.stmt(1, "", 0)
+	}
+	g.w("return chk %% 4099;")
+	g.ind--
+	g.w("}")
+	g.w("")
+	g.ivars = saved
+}
+
+func (g *gen) program() string {
+	g.w("/* randomly generated MiniC program (differential-test input) */")
+	// A couple of globals folded into the checksum.
+	ng := 1 + g.r.Intn(3)
+	globals := make([]string, ng)
+	for i := range globals {
+		globals[i] = g.fresh("G")
+		g.w("int %s = %d;", globals[i], g.r.Intn(100))
+	}
+	g.w("")
+
+	// Helpers are generated before main and callable from everywhere
+	// (MiniC resolves functions in a pre-pass); calls may not recurse.
+	nh := 1 + g.r.Intn(3)
+	for i := 0; i < nh; i++ {
+		name := fmt.Sprintf("h%d", i)
+		p := 1 + g.r.Intn(3)
+		g.helper(name, p)
+		g.funcs = append(g.funcs, funcSig{name: name, params: p})
+	}
+
+	g.w("int main() {")
+	g.ind++
+	g.w("int chk = 7;")
+	g.ivars = []string{"chk"}
+	g.ivars = append(g.ivars, globals...)
+
+	arrLen := 4 + g.r.Intn(12)
+	g.w("int buf[%d];", arrLen)
+	g.w("for (int z = 0; z < %d; z++) { buf[z] = z * 3; }", arrLen)
+
+	nst := 4 + g.r.Intn(6)
+	for i := 0; i < nst; i++ {
+		g.stmt(2, "buf", arrLen)
+	}
+
+	// fold the array and globals into the checksum and print it
+	g.w("for (int z = 0; z < %d; z++) { chk = (chk * 17 + buf[z]) %% 65521; }", arrLen)
+	for _, gv := range globals {
+		g.w("chk = (chk * 13 + %s) %% 65521;", gv)
+	}
+	g.w(`print("chk=", chk, "\n");`)
+	g.w("return chk %% 256;")
+	g.ind--
+	g.w("}")
+	return g.buf.String()
+}

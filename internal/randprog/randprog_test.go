@@ -1,0 +1,74 @@
+package randprog
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/vm"
+)
+
+// TestGeneratedProgramsDifferential is the compiler fuzzer: many random
+// programs, each compiled at four optimization levels, must all print the
+// same checksum. Any divergence is a miscompilation with a seed to
+// reproduce it.
+func TestGeneratedProgramsDifferential(t *testing.T) {
+	seeds := 80
+	if testing.Short() {
+		seeds = 15
+	}
+	cfgs := []struct {
+		name string
+		cfg  compile.Config
+	}{
+		{"O0", compile.O0()},
+		{"O2noRA", compile.O2NoRegAlloc()},
+		{"O2RA", func() compile.Config { c := compile.O2NoRegAlloc(); c.RegAlloc = true; return c }()},
+		{"O2full", compile.O2()},
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := Gen(seed)
+		var want string
+		for i, c := range cfgs {
+			res, err := compile.Compile("rand.mc", src, c.cfg)
+			if err != nil {
+				t.Fatalf("seed %d (%s): compile: %v\n%s", seed, c.name, err, src)
+			}
+			m, err := vm.New(res.Mach)
+			if err != nil {
+				t.Fatalf("seed %d (%s): %v", seed, c.name, err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatalf("seed %d (%s): run: %v\n%s", seed, c.name, err, src)
+			}
+			if i == 0 {
+				want = m.Output()
+				continue
+			}
+			if m.Output() != want {
+				t.Errorf("seed %d: %s output %q differs from O0 %q\n%s",
+					seed, c.name, m.Output(), want, src)
+			}
+		}
+	}
+}
+
+// TestGenDeterministic checks generation is reproducible.
+func TestGenDeterministic(t *testing.T) {
+	if Gen(42) != Gen(42) {
+		t.Error("generation not deterministic")
+	}
+	if Gen(1) == Gen(2) {
+		t.Error("different seeds should give different programs")
+	}
+}
+
+// TestGeneratedProgramsAlwaysCompile checks a wider seed range for
+// frontend robustness (no execution).
+func TestGeneratedProgramsAlwaysCompile(t *testing.T) {
+	for seed := int64(100); seed < 200; seed++ {
+		src := Gen(seed)
+		if _, err := compile.Compile("rand.mc", src, compile.O0()); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}

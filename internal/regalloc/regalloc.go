@@ -1,0 +1,506 @@
+// Package regalloc implements mcc's global register allocator: a
+// Chaitin-style graph-coloring allocator (Table 1 of the paper: "global
+// register allocation (using graph coloring)" and "register coalescing")
+// with Briggs-style optimistic coloring and conservative coalescing, plus
+// spilling to frame slots.
+//
+// Allocation is what makes source variables *nonresident*: once variables
+// share physical registers, a variable's register only holds its value
+// inside the variable's live range. The allocator therefore records each
+// variable's allocated location in Func.VarLoc; the per-point residence
+// test itself is performed by the debugger analyses (package core) from
+// the DefObj/UseObjs tags that survive on the final instructions.
+//
+// Moves that copy source variables are never coalesced away: deleting them
+// would erase the variable's defining instruction, which the debugger's
+// bookkeeping needs. Temp-to-temp moves are coalesced normally.
+package regalloc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ast"
+	"repro/internal/dataflow"
+	"repro/internal/mach"
+)
+
+// Allocate colors every function in the program.
+func Allocate(p *mach.Program) error {
+	for _, f := range p.Funcs {
+		if err := AllocateFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllocateFunc runs register allocation for one function.
+func AllocateFunc(f *mach.Func) error {
+	a := &allocator{f: f, spillTemp: map[int]bool{}}
+	if err := a.run(mach.IntClass, mach.NumIntRegs); err != nil {
+		return err
+	}
+	if err := a.run(mach.FloatClass, mach.NumFloatRegs); err != nil {
+		return err
+	}
+	f.Allocated = true
+	return nil
+}
+
+type allocator struct {
+	f         *mach.Func
+	spillTemp map[int]bool // vregs created by spill code: never re-spill
+}
+
+// run allocates one register class.
+func (a *allocator) run(class mach.RegClass, k int) error {
+	spilled := map[int]int64{} // vreg -> frame offset
+	for round := 0; round < 24; round++ {
+		// Coalesce to a fixed point, rebuilding the graph after each merge.
+		var g *igraph
+		for i := 0; ; i++ {
+			g = a.buildGraph(class)
+			if i > 10_000 || !a.coalesce(g, class, k) {
+				break
+			}
+		}
+		toSpill := g.color(k)
+		if len(toSpill) == 0 {
+			a.rewrite(g, class, spilled)
+			return nil
+		}
+		for _, v := range toSpill {
+			if a.spillTemp[v] {
+				return fmt.Errorf("regalloc: %s: spill temp v%d needs spilling again (class %d)",
+					a.f.Name, v, class)
+			}
+			off := a.f.FrameSize
+			a.f.FrameSize += 4
+			spilled[v] = off
+			a.insertSpillCode(v, class, off)
+		}
+	}
+	return fmt.Errorf("regalloc: %s: did not converge", a.f.Name)
+}
+
+// ---------------------------------------------------------------- liveness
+
+func machGraph(f *mach.Func) dataflow.Graph {
+	idx := map[*mach.Block]int{}
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	g := dataflow.Graph{N: len(f.Blocks), Succs: make([][]int, len(f.Blocks)), Preds: make([][]int, len(f.Blocks))}
+	for i, b := range f.Blocks {
+		for _, s := range b.Succs {
+			g.Succs[i] = append(g.Succs[i], idx[s])
+			g.Preds[idx[s]] = append(g.Preds[idx[s]], i)
+		}
+	}
+	return g
+}
+
+// RegKey encodes a register operand (class + number) as a dense bit index,
+// so int and float registers never collide in liveness bit vectors.
+func RegKey(o mach.Opd) int { return o.R*2 + int(o.Class) }
+
+// KeyReg decodes a RegKey back into (number, class).
+func KeyReg(k int) (int, mach.RegClass) { return k / 2, mach.RegClass(k % 2) }
+
+// Liveness computes per-block live-in/out over all registers of f, indexed
+// by RegKey.
+func Liveness(f *mach.Func) ([]*dataflow.BitSet, []*dataflow.BitSet) {
+	g := machGraph(f)
+	n := 2 * (f.NumVregs + mach.NumIntRegs + mach.NumFloatRegs + 2)
+	use := make([]*dataflow.BitSet, g.N)
+	def := make([]*dataflow.BitSet, g.N)
+	var buf []mach.Opd
+	for i, b := range f.Blocks {
+		use[i] = dataflow.NewBitSet(n)
+		def[i] = dataflow.NewBitSet(n)
+		for _, in := range b.Instrs {
+			buf = in.Uses(buf[:0])
+			for _, o := range buf {
+				if !def[i].Has(RegKey(o)) {
+					use[i].Set(RegKey(o))
+				}
+			}
+			if d := in.Def(); d.IsReg() {
+				def[i].Set(RegKey(d))
+			}
+		}
+	}
+	p := dataflow.Problem{Graph: g, Dir: dataflow.Backward, Meet: dataflow.Union,
+		Bits: n, Gen: use, Kill: def}
+	res := p.Solve()
+	return res.In, res.Out
+}
+
+// ---------------------------------------------------------------- graph
+
+type igraph struct {
+	f      *mach.Func
+	class  mach.RegClass
+	nodes  map[int]bool
+	adj    map[int]map[int]bool
+	cost   map[int]float64
+	colors map[int]int
+}
+
+func (a *allocator) buildGraph(class mach.RegClass) *igraph {
+	f := a.f
+	g := &igraph{
+		f: f, class: class,
+		nodes: map[int]bool{}, adj: map[int]map[int]bool{},
+		cost: map[int]float64{}, colors: map[int]int{},
+	}
+	addNode := func(r int) {
+		if !g.nodes[r] {
+			g.nodes[r] = true
+			g.adj[r] = map[int]bool{}
+		}
+	}
+	addEdge := func(x, y int) {
+		if x == y {
+			return
+		}
+		addNode(x)
+		addNode(y)
+		g.adj[x][y] = true
+		g.adj[y][x] = true
+	}
+
+	// Node discovery and spill costs (weighted by loop depth).
+	var buf []mach.Opd
+	for _, b := range f.Blocks {
+		w := math.Pow(10, float64(b.LoopDepth))
+		for _, in := range b.Instrs {
+			ops := in.Uses(buf[:0])
+			if d := in.Def(); d.IsReg() {
+				ops = append(ops, d)
+			}
+			for _, o := range ops {
+				if o.Class == class {
+					addNode(o.R)
+					g.cost[o.R] += w
+				}
+			}
+		}
+	}
+
+	_, liveOut := Liveness(f)
+	for bi, b := range f.Blocks {
+		live := liveOut[bi].Copy()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			d := in.Def()
+			if d.IsReg() && d.Class == class {
+				live.ForEach(func(key int) {
+					l, cls := KeyReg(key)
+					if cls != class {
+						return
+					}
+					// A move does not interfere with its source.
+					if in.Op == mach.MOV && in.A.IsReg() && in.A.Class == class && in.A.R == l {
+						return
+					}
+					addEdge(d.R, l)
+				})
+			}
+			if d.IsReg() {
+				live.Clear(RegKey(d))
+			}
+			buf = in.Uses(buf[:0])
+			for _, u := range buf {
+				live.Set(RegKey(u))
+			}
+		}
+	}
+	return g
+}
+
+func (g *igraph) degree(n int) int { return len(g.adj[n]) }
+
+// ---------------------------------------------------------------- coalesce
+
+// coalesce merges one batch of temp-to-temp moves using the Briggs
+// conservative criterion; returns true if anything was merged (the caller
+// rebuilds the graph).
+func (a *allocator) coalesce(g *igraph, class mach.RegClass, k int) bool {
+	f := a.f
+	merged := false
+	for _, b := range f.Blocks {
+		for pos := 0; pos < len(b.Instrs); pos++ {
+			in := b.Instrs[pos]
+			if in.Op != mach.MOV || !in.A.IsReg() || !in.Dst.IsReg() {
+				continue
+			}
+			if in.Dst.Class != class || in.A.Class != class {
+				continue
+			}
+			dst, src := in.Dst.R, in.A.R
+			if dst == src {
+				b.RemoveAt(pos)
+				pos--
+				merged = true
+				continue
+			}
+			// Preserve source-variable defining moves and recovery points.
+			if dst < f.NumVars || src < f.NumVars {
+				continue
+			}
+			if in.Ann.ReplacedVar != nil || in.Ann.Recover != nil {
+				continue
+			}
+			if g.adj[dst][src] {
+				continue
+			}
+			// Briggs: merged node must have < k significant neighbors.
+			sig := 0
+			seen := map[int]bool{}
+			for n := range g.adj[dst] {
+				seen[n] = true
+				if g.degree(n) >= k {
+					sig++
+				}
+			}
+			for n := range g.adj[src] {
+				if !seen[n] && g.degree(n) >= k {
+					sig++
+				}
+			}
+			if sig >= k {
+				continue
+			}
+			// Merge src into dst everywhere; drop the move.
+			b.RemoveAt(pos)
+			pos--
+			old := mach.Opd{Kind: mach.Reg, Class: class, R: src}
+			new := mach.Opd{Kind: mach.Reg, Class: class, R: dst}
+			for _, bb := range f.Blocks {
+				for _, ii := range bb.Instrs {
+					ii.ReplaceReg(old, new, true)
+				}
+			}
+			return true // rebuild graph after each merge for safety
+		}
+	}
+	return merged
+}
+
+// ---------------------------------------------------------------- color
+
+// color runs simplify/select with optimistic coloring; returns the list of
+// vregs that must be spilled (empty on success, in which case g.colors maps
+// every node to a physical register number).
+func (g *igraph) color(k int) []int {
+	// Working copies.
+	deg := map[int]int{}
+	removed := map[int]bool{}
+	for n := range g.nodes {
+		deg[n] = g.degree(n)
+	}
+	var stack []int
+	remaining := len(g.nodes)
+
+	removeNode := func(n int) {
+		removed[n] = true
+		remaining--
+		for m := range g.adj[n] {
+			if !removed[m] {
+				deg[m]--
+			}
+		}
+		stack = append(stack, n)
+	}
+
+	for remaining > 0 {
+		// Simplify: pick any node with degree < k (deterministic order:
+		// lowest vreg number).
+		pick := -1
+		for n := 0; ; n++ {
+			if pick >= 0 || n > maxNode(g.nodes) {
+				break
+			}
+			if g.nodes[n] && !removed[n] && deg[n] < k {
+				pick = n
+			}
+		}
+		if pick < 0 {
+			// Potential spill: lowest cost/degree.
+			best := -1
+			bestScore := math.Inf(1)
+			for n := range g.nodes {
+				if removed[n] {
+					continue
+				}
+				d := deg[n]
+				if d == 0 {
+					d = 1
+				}
+				score := g.cost[n] / float64(d)
+				if score < bestScore || (score == bestScore && (best == -1 || n < best)) {
+					best, bestScore = n, score
+				}
+			}
+			pick = best
+		}
+		removeNode(pick)
+	}
+
+	// Select.
+	var spills []int
+	for i := len(stack) - 1; i >= 0; i-- {
+		n := stack[i]
+		used := map[int]bool{}
+		for m := range g.adj[n] {
+			if c, ok := g.colors[m]; ok {
+				used[c] = true
+			}
+		}
+		c := -1
+		for x := 0; x < k; x++ {
+			if !used[x] {
+				c = x
+				break
+			}
+		}
+		if c < 0 {
+			spills = append(spills, n)
+			continue
+		}
+		g.colors[n] = c
+	}
+	return spills
+}
+
+func maxNode(nodes map[int]bool) int {
+	mx := -1
+	for n := range nodes {
+		if n > mx {
+			mx = n
+		}
+	}
+	return mx
+}
+
+// ---------------------------------------------------------------- spill
+
+// insertSpillCode rewrites every occurrence of vreg v through a frame slot.
+func (a *allocator) insertSpillCode(v int, class mach.RegClass, off int64) {
+	f := a.f
+	loadOp, storeOp := mach.LWFP, mach.SWFP
+	if class == mach.FloatClass {
+		loadOp, storeOp = mach.FLWFP, mach.FSWFP
+	}
+	old := mach.Opd{Kind: mach.Reg, Class: class, R: v}
+	for _, b := range f.Blocks {
+		for pos := 0; pos < len(b.Instrs); pos++ {
+			in := b.Instrs[pos]
+			usesV := false
+			var buf []mach.Opd
+			for _, u := range in.Uses(buf) {
+				if u.Same(old) {
+					usesV = true
+					break
+				}
+			}
+			defsV := in.Def().Same(old) && in.Def().IsReg()
+			if !usesV && !defsV {
+				if in.MarkAlias.Same(old) {
+					// The alias value now lives in a slot the debugger
+					// cannot name through a register: drop the alias.
+					in.MarkAlias = mach.Opd{}
+				}
+				continue
+			}
+			if usesV {
+				t := f.NewVreg(class)
+				a.spillTemp[t.R] = true
+				ld := &mach.Instr{Op: loadOp, Dst: t, Off: off, Stmt: in.Stmt, OrigIdx: in.OrigIdx}
+				insertAt(b, pos, ld)
+				pos++
+				in.ReplaceReg(old, t, false)
+			}
+			if defsV {
+				t := f.NewVreg(class)
+				a.spillTemp[t.R] = true
+				in.ReplaceReg(old, t, true) // only the def remains
+				st := &mach.Instr{Op: storeOp, B: t, Off: off, Stmt: in.Stmt, OrigIdx: in.OrigIdx}
+				insertAt(b, pos+1, st)
+				pos++
+			}
+		}
+	}
+}
+
+func insertAt(b *mach.Block, pos int, in *mach.Instr) {
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[pos+1:], b.Instrs[pos:])
+	b.Instrs[pos] = in
+}
+
+// ---------------------------------------------------------------- rewrite
+
+// rewrite maps vregs of the class to their physical registers and records
+// variable locations.
+func (a *allocator) rewrite(g *igraph, class mach.RegClass, spilled map[int]int64) {
+	f := a.f
+	phys := func(o *mach.Opd) {
+		if o.Kind == mach.Reg && o.Class == class {
+			if c, ok := g.colors[o.R]; ok {
+				o.R = c
+			} else {
+				// Unconstrained (never live simultaneously with anything,
+				// or dead): give it register 0.
+				o.R = 0
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			phys(&in.Dst)
+			phys(&in.A)
+			phys(&in.B)
+			for i := range in.Args {
+				phys(&in.Args[i])
+			}
+			for i := range in.PrintFmt {
+				if !in.PrintFmt[i].IsStr {
+					phys(&in.PrintFmt[i].Val)
+				}
+			}
+			// A marker's alias operand names the register holding an
+			// eliminated value. If that vreg got no color (its defs were
+			// all removed or it was spilled), the alias is unrecoverable
+			// through a register: drop it rather than point at a wrong
+			// physical register.
+			if in.MarkAlias.Kind == mach.Reg && in.MarkAlias.Class == class {
+				if c, ok := g.colors[in.MarkAlias.R]; ok {
+					in.MarkAlias.R = c
+				} else {
+					in.MarkAlias = mach.Opd{}
+				}
+			}
+		}
+	}
+	// Record variable locations.
+	for vid := 0; vid < f.NumVars; vid++ {
+		obj := f.Decl.Locals[vid]
+		cls := mach.IntClass
+		if ast.IsFloat(obj.Type) {
+			cls = mach.FloatClass
+		}
+		if cls != class {
+			continue
+		}
+		if off, ok := spilled[vid]; ok {
+			f.VarLoc[obj] = mach.Loc{Kind: mach.LocSpill, Class: class, Off: off}
+		} else if c, ok := g.colors[vid]; ok {
+			f.VarLoc[obj] = mach.Loc{Kind: mach.LocReg, Class: class, R: c}
+		} else {
+			f.VarLoc[obj] = mach.Loc{Kind: mach.LocNone}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/mach"
+)
+
+func block(instrs ...*mach.Instr) *mach.Block {
+	return &mach.Block{Instrs: instrs}
+}
+
+// collect returns the scheduled order of the given instructions.
+func indexOf(b *mach.Block, in *mach.Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRAWDependencePreserved(t *testing.T) {
+	def := &mach.Instr{Op: mach.MUL, Dst: mach.R_(1), A: mach.R_(0), B: mach.I_(3)}
+	use := &mach.Instr{Op: mach.ADD, Dst: mach.R_(2), A: mach.R_(1), B: mach.I_(1)}
+	indep := &mach.Instr{Op: mach.MOV, Dst: mach.R_(3), A: mach.I_(9)}
+	b := block(def, use, indep)
+	scheduleBlock(b)
+	if indexOf(b, def) > indexOf(b, use) {
+		t.Errorf("RAW violated: %v", b.Instrs)
+	}
+}
+
+func TestWARAndWAWPreserved(t *testing.T) {
+	use := &mach.Instr{Op: mach.ADD, Dst: mach.R_(2), A: mach.R_(1), B: mach.I_(1)}
+	redef := &mach.Instr{Op: mach.MOV, Dst: mach.R_(1), A: mach.I_(5)}  // WAR with use
+	redef2 := &mach.Instr{Op: mach.MOV, Dst: mach.R_(1), A: mach.I_(6)} // WAW with redef
+	b := block(use, redef, redef2)
+	scheduleBlock(b)
+	if indexOf(b, use) > indexOf(b, redef) {
+		t.Errorf("WAR violated: %v", b.Instrs)
+	}
+	if indexOf(b, redef) > indexOf(b, redef2) {
+		t.Errorf("WAW violated: %v", b.Instrs)
+	}
+}
+
+func TestStoreLoadOrderPreserved(t *testing.T) {
+	st := &mach.Instr{Op: mach.SW, A: mach.R_(0), B: mach.R_(1)}
+	ld := &mach.Instr{Op: mach.LW, Dst: mach.R_(2), A: mach.R_(0)}
+	st2 := &mach.Instr{Op: mach.SW, A: mach.R_(0), B: mach.R_(2), Off: 4}
+	b := block(st, ld, st2)
+	scheduleBlock(b)
+	if indexOf(b, st) > indexOf(b, ld) {
+		t.Error("load moved above store")
+	}
+	if indexOf(b, ld) > indexOf(b, st2) {
+		t.Error("store moved above load")
+	}
+}
+
+func TestMarkersPinAsBarriers(t *testing.T) {
+	before := &mach.Instr{Op: mach.MOV, Dst: mach.R_(1), A: mach.I_(1)}
+	marker := &mach.Instr{Op: mach.MARKDEAD}
+	after := &mach.Instr{Op: mach.MOV, Dst: mach.R_(2), A: mach.I_(2)}
+	b := block(before, marker, after)
+	scheduleBlock(b)
+	if indexOf(b, before) > indexOf(b, marker) || indexOf(b, marker) > indexOf(b, after) {
+		t.Errorf("marker did not pin: %v", b.Instrs)
+	}
+}
+
+func TestTerminatorStaysLast(t *testing.T) {
+	a := &mach.Instr{Op: mach.MOV, Dst: mach.R_(1), A: mach.I_(1)}
+	c := &mach.Instr{Op: mach.SLT, Dst: mach.R_(2), A: mach.R_(1), B: mach.I_(5)}
+	br := &mach.Instr{Op: mach.BNEZ, A: mach.R_(2)}
+	b := block(a, c, br)
+	scheduleBlock(b)
+	if b.Instrs[len(b.Instrs)-1] != br {
+		t.Errorf("terminator moved: %v", b.Instrs)
+	}
+}
+
+func TestLatencyHiding(t *testing.T) {
+	// load (latency 2) followed by its use, then two independent movs:
+	// the scheduler should hoist independent work between load and use.
+	ld := &mach.Instr{Op: mach.LW, Dst: mach.R_(1), A: mach.R_(0)}
+	use := &mach.Instr{Op: mach.ADD, Dst: mach.R_(2), A: mach.R_(1), B: mach.I_(1)}
+	m1 := &mach.Instr{Op: mach.MOV, Dst: mach.R_(3), A: mach.I_(7)}
+	m2 := &mach.Instr{Op: mach.MOV, Dst: mach.R_(4), A: mach.I_(8)}
+	b := block(ld, use, m1, m2)
+	scheduleBlock(b)
+	// The load has the longest critical path; it must come first, and the
+	// dependent use must not be scheduled directly after it if independent
+	// work exists.
+	if b.Instrs[0] != ld {
+		t.Errorf("load should lead: %v", b.Instrs)
+	}
+	if indexOf(b, use) == 1 {
+		t.Errorf("use scheduled in the load shadow: %v", b.Instrs)
+	}
+}
+
+func TestOrigIdxPreservedOnInstr(t *testing.T) {
+	a := &mach.Instr{Op: mach.MOV, Dst: mach.R_(1), A: mach.I_(1), OrigIdx: 10}
+	c := &mach.Instr{Op: mach.MOV, Dst: mach.R_(2), A: mach.I_(2), OrigIdx: 20}
+	b := block(c, a)
+	scheduleBlock(b)
+	if a.OrigIdx != 10 || c.OrigIdx != 20 {
+		t.Error("scheduling must not rewrite OrigIdx (the debugger needs it)")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() *mach.Block {
+		return block(
+			&mach.Instr{Op: mach.MOV, Dst: mach.R_(1), A: mach.I_(1)},
+			&mach.Instr{Op: mach.MOV, Dst: mach.R_(2), A: mach.I_(2)},
+			&mach.Instr{Op: mach.MOV, Dst: mach.R_(3), A: mach.I_(3)},
+			&mach.Instr{Op: mach.ADD, Dst: mach.R_(4), A: mach.R_(1), B: mach.R_(2)},
+		)
+	}
+	b1, b2 := mk(), mk()
+	scheduleBlock(b1)
+	scheduleBlock(b2)
+	for i := range b1.Instrs {
+		if b1.Instrs[i].String() != b2.Instrs[i].String() {
+			t.Fatalf("nondeterministic schedule:\n%v\n%v", b1.Instrs, b2.Instrs)
+		}
+	}
+}

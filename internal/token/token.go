@@ -1,0 +1,134 @@
+// Package token defines the lexical tokens of MiniC, the C subset compiled
+// by mcc. MiniC covers the scalar language features the paper's
+// optimizations act on: int and float scalars, fixed-size arrays, pointers
+// to scalars, functions, and structured control flow.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT    // x
+	INTLIT   // 123
+	FLOATLIT // 1.5
+	CHARLIT  // 'a'
+	STRLIT   // "s" (only in print statements)
+
+	// Operators and punctuation.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	AMP     // &
+
+	ASSIGN     // =
+	PLUSASSIGN // +=
+	MINUSASSIGN
+	STARASSIGN
+	SLASHASSIGN
+	INC // ++
+	DEC // --
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	GT  // >
+	LEQ // <=
+	GEQ // >=
+
+	ANDAND // &&
+	OROR   // ||
+	NOT    // !
+
+	SHL // <<
+	SHR // >>
+	OR  // |
+	XOR // ^
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+
+	// Keywords.
+	KwInt
+	KwFloat
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwPrint // builtin output statement, used by workloads and the VM
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL",
+	IDENT: "identifier", INTLIT: "int literal", FLOATLIT: "float literal",
+	CHARLIT: "char literal", STRLIT: "string literal",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%", AMP: "&",
+	ASSIGN: "=", PLUSASSIGN: "+=", MINUSASSIGN: "-=", STARASSIGN: "*=", SLASHASSIGN: "/=",
+	INC: "++", DEC: "--",
+	EQ: "==", NEQ: "!=", LT: "<", GT: ">", LEQ: "<=", GEQ: ">=",
+	ANDAND: "&&", OROR: "||", NOT: "!",
+	SHL: "<<", SHR: ">>", OR: "|", XOR: "^",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMI: ";",
+	KwInt: "int", KwFloat: "float", KwVoid: "void",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for", KwDo: "do",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue", KwPrint: "print",
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "float": KwFloat, "void": KwVoid,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor, "do": KwDo,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue, "print": KwPrint,
+}
+
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// IsAssignOp reports whether k is one of the assignment operators.
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, PLUSASSIGN, MINUSASSIGN, STARASSIGN, SLASHASSIGN:
+		return true
+	}
+	return false
+}
+
+// Token is one lexeme with its source extent.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT and literals
+	Pos  int    // byte offset of the first character
+	End  int    // byte offset just past the last character
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT, CHARLIT, STRLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,517 @@
+// Package vm implements the simulator for mcc's virtual MIPS-like target.
+// It executes machine code either before register allocation (virtual
+// registers, one per value) or after (physical registers plus spill slots),
+// counts cycles using per-opcode latencies, and exposes the debugger hooks
+// the paper's model needs: run-to-breakpoint, single-step, and inspection
+// of registers and memory at the stopped position.
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/mach"
+)
+
+// Val is one runtime value (integer word or float).
+type Val struct {
+	I   int64
+	F   float64
+	IsF bool
+}
+
+// slot is one 4-byte memory word; the simulator stores either view.
+type slot struct {
+	i int64
+	f float64
+}
+
+// Frame is one activation record.
+type Frame struct {
+	Fn   *mach.Func
+	IReg []int64
+	FReg []float64
+	Base int64 // byte address of this frame's memory area
+	Args []Val
+
+	// readyI/readyFv model result latency: the cycle at which each
+	// register's value becomes available. An instruction stalls until its
+	// operands are ready, so instruction scheduling measurably reduces
+	// cycle counts.
+	readyI  []int64
+	readyFv []int64
+
+	block *mach.Block
+	idx   int
+	// where the caller wants the return value
+	retDst mach.Opd
+}
+
+// Pos identifies an execution position (the debugger's program counter).
+type Pos struct {
+	Fn    *mach.Func
+	Block *mach.Block
+	Idx   int
+}
+
+// VM is the simulator.
+type VM struct {
+	Prog *mach.Program
+
+	mem   []slot // globals at [0, globalSlots), frames stacked above
+	sp    int64  // next free byte address for frames
+	out   strings.Builder
+	stack []*Frame
+
+	Cycles int64
+	Steps  int64
+	// MaxSteps bounds execution (0 = default limit).
+	MaxSteps int64
+
+	halted bool
+	retVal Val
+}
+
+// New prepares a VM for prog with main as the entry point.
+func New(prog *mach.Program) (*VM, error) {
+	main := prog.LookupFunc("main")
+	if main == nil {
+		return nil, fmt.Errorf("vm: program has no main")
+	}
+	vm := &VM{Prog: prog, MaxSteps: 200_000_000}
+	globalBytes := prog.GlobalSize
+	vm.mem = make([]slot, (globalBytes/4)+4)
+	vm.sp = (globalBytes + 7) &^ 3
+	for obj, init := range prog.GlobalInit {
+		off := prog.GlobalOff[obj] / 4
+		if init.Kind == 0 {
+			continue
+		}
+		vm.mem[off] = slot{i: init.Int, f: init.Fl}
+	}
+	vm.push(main, nil, mach.Opd{})
+	return vm, nil
+}
+
+func (vm *VM) push(fn *mach.Func, args []Val, retDst mach.Opd) {
+	nInt, nFloat := fn.NumVregs, fn.NumVregs
+	if fn.Allocated {
+		nInt, nFloat = mach.NumIntRegs, mach.NumFloatRegs
+	}
+	fr := &Frame{
+		Fn:      fn,
+		IReg:    make([]int64, nInt+1),
+		FReg:    make([]float64, nFloat+1),
+		readyI:  make([]int64, nInt+1),
+		readyFv: make([]int64, nFloat+1),
+		Base:    vm.sp,
+		Args:    args,
+		block:   fn.Entry,
+		retDst:  retDst,
+	}
+	need := (fn.FrameSize + 7) &^ 3
+	vm.sp += need
+	for int64(len(vm.mem))*4 < vm.sp {
+		vm.mem = append(vm.mem, slot{})
+	}
+	vm.stack = append(vm.stack, fr)
+}
+
+// Halted reports whether the program has finished.
+func (vm *VM) Halted() bool { return vm.halted }
+
+// ExitValue returns main's return value once halted.
+func (vm *VM) ExitValue() int64 { return vm.retVal.I }
+
+// Output returns everything printed so far.
+func (vm *VM) Output() string { return vm.out.String() }
+
+// Top returns the current (innermost) frame, or nil when halted.
+func (vm *VM) Top() *Frame {
+	if len(vm.stack) == 0 {
+		return nil
+	}
+	return vm.stack[len(vm.stack)-1]
+}
+
+// Position returns the current execution position.
+func (vm *VM) Position() Pos {
+	fr := vm.Top()
+	if fr == nil {
+		return Pos{}
+	}
+	return Pos{Fn: fr.Fn, Block: fr.block, Idx: fr.idx}
+}
+
+// CurrentInstr returns the instruction about to execute, or nil.
+func (vm *VM) CurrentInstr() *mach.Instr {
+	fr := vm.Top()
+	if fr == nil || fr.idx >= len(fr.block.Instrs) {
+		return nil
+	}
+	return fr.block.Instrs[fr.idx]
+}
+
+// Run executes until the program halts.
+func (vm *VM) Run() error {
+	for !vm.halted {
+		if err := vm.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil executes until stop(pos) returns true (checked before each
+// instruction) or the program halts.
+func (vm *VM) RunUntil(stop func(Pos) bool) error {
+	for !vm.halted {
+		if stop(vm.Position()) {
+			return nil
+		}
+		if err := vm.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regVal reads an operand in frame fr.
+func (vm *VM) regVal(fr *Frame, o mach.Opd) Val {
+	switch o.Kind {
+	case mach.Imm:
+		return Val{I: o.Imm}
+	case mach.FImm:
+		return Val{F: o.F, IsF: true}
+	case mach.Reg:
+		if o.Class == mach.FloatClass {
+			return Val{F: fr.FReg[o.R], IsF: true}
+		}
+		return Val{I: fr.IReg[o.R]}
+	}
+	return Val{}
+}
+
+func (vm *VM) setReg(fr *Frame, o mach.Opd, v Val) {
+	if o.Kind != mach.Reg {
+		return
+	}
+	if o.Class == mach.FloatClass {
+		x := v.F
+		if !v.IsF {
+			x = float64(v.I)
+		}
+		fr.FReg[o.R] = x
+		return
+	}
+	x := v.I
+	if v.IsF {
+		x = int64(v.F)
+	}
+	fr.IReg[o.R] = int64(int32(x))
+}
+
+// ReadMemInt reads the int word at byte address addr.
+func (vm *VM) ReadMemInt(addr int64) (int64, error) {
+	if addr < 0 || addr/4 >= int64(len(vm.mem)) {
+		return 0, fmt.Errorf("vm: read out of bounds at %d", addr)
+	}
+	return vm.mem[addr/4].i, nil
+}
+
+// ReadMemFloat reads the float word at byte address addr.
+func (vm *VM) ReadMemFloat(addr int64) (float64, error) {
+	if addr < 0 || addr/4 >= int64(len(vm.mem)) {
+		return 0, fmt.Errorf("vm: read out of bounds at %d", addr)
+	}
+	return vm.mem[addr/4].f, nil
+}
+
+// AddrOf returns the runtime byte address of obj in frame fr (or the global
+// segment).
+func (vm *VM) AddrOf(fr *Frame, obj *ast.Object) (int64, bool) {
+	if off, ok := fr.Fn.FrameOff[obj]; ok {
+		return fr.Base + off, true
+	}
+	if off, ok := vm.Prog.GlobalOff[obj]; ok {
+		return off, true
+	}
+	return 0, false
+}
+
+// Step executes one instruction.
+func (vm *VM) Step() error {
+	fr := vm.Top()
+	if fr == nil {
+		vm.halted = true
+		return nil
+	}
+	vm.Steps++
+	if vm.Steps > vm.MaxSteps {
+		return fmt.Errorf("vm: step limit exceeded in %s", fr.Fn.Name)
+	}
+	if fr.idx >= len(fr.block.Instrs) {
+		// Fell off an unterminated block: treat as void return.
+		return vm.doReturn(Val{})
+	}
+	in := fr.block.Instrs[fr.idx]
+	vm.accountCycles(fr, in)
+	fr.idx++
+
+	switch in.Op {
+	case mach.NOP, mach.MARKDEAD, mach.MARKAVAIL:
+		// no effect
+
+	case mach.MOV:
+		vm.setReg(fr, in.Dst, vm.regVal(fr, in.A))
+
+	case mach.GETP:
+		if in.ParamIdx < len(fr.Args) {
+			vm.setReg(fr, in.Dst, fr.Args[in.ParamIdx])
+		}
+
+	case mach.LA:
+		addr, ok := vm.AddrOf(fr, in.Sym)
+		if !ok {
+			return fmt.Errorf("vm: la of unknown symbol %s", in.Sym.Name)
+		}
+		vm.setReg(fr, in.Dst, Val{I: addr})
+
+	case mach.LW, mach.FLW:
+		base := vm.regVal(fr, in.A).I
+		addr := base + in.Off
+		if addr < 0 || addr/4 >= int64(len(vm.mem)) {
+			return fmt.Errorf("vm: %s out of bounds at %d (stmt %d in %s)", in.Op, addr, in.Stmt, fr.Fn.Name)
+		}
+		if in.Op == mach.FLW {
+			vm.setReg(fr, in.Dst, Val{F: vm.mem[addr/4].f, IsF: true})
+		} else {
+			vm.setReg(fr, in.Dst, Val{I: vm.mem[addr/4].i})
+		}
+
+	case mach.SW, mach.FSW:
+		base := vm.regVal(fr, in.A).I
+		addr := base + in.Off
+		if addr < 0 || addr/4 >= int64(len(vm.mem)) {
+			return fmt.Errorf("vm: %s out of bounds at %d (stmt %d in %s)", in.Op, addr, in.Stmt, fr.Fn.Name)
+		}
+		v := vm.regVal(fr, in.B)
+		if in.Op == mach.FSW {
+			x := v.F
+			if !v.IsF {
+				x = float64(v.I)
+			}
+			vm.mem[addr/4] = slot{f: x}
+		} else {
+			vm.mem[addr/4] = slot{i: int64(int32(v.I))}
+		}
+
+	case mach.LWFP:
+		vm.setReg(fr, in.Dst, Val{I: vm.mem[(fr.Base+in.Off)/4].i})
+	case mach.FLWFP:
+		vm.setReg(fr, in.Dst, Val{F: vm.mem[(fr.Base+in.Off)/4].f, IsF: true})
+	case mach.SWFP:
+		vm.mem[(fr.Base+in.Off)/4] = slot{i: vm.regVal(fr, in.B).I}
+	case mach.FSWFP:
+		x := vm.regVal(fr, in.B)
+		f := x.F
+		if !x.IsF {
+			f = float64(x.I)
+		}
+		vm.mem[(fr.Base+in.Off)/4] = slot{f: f}
+
+	case mach.CALL:
+		callee := vm.Prog.LookupFunc(in.Callee)
+		if callee == nil {
+			return fmt.Errorf("vm: call of unknown function %q", in.Callee)
+		}
+		args := make([]Val, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = vm.regVal(fr, a)
+		}
+		vm.push(callee, args, in.Dst)
+
+	case mach.RET:
+		var v Val
+		if in.A.Kind != mach.None {
+			v = vm.regVal(fr, in.A)
+		}
+		return vm.doReturn(v)
+
+	case mach.J:
+		fr.block = fr.block.Succs[0]
+		fr.idx = 0
+
+	case mach.BNEZ:
+		c := vm.regVal(fr, in.A)
+		taken := c.I != 0 || (c.IsF && c.F != 0)
+		if taken {
+			fr.block = fr.block.Succs[0]
+		} else {
+			fr.block = fr.block.Succs[1]
+		}
+		fr.idx = 0
+
+	case mach.PRINT:
+		for _, a := range in.PrintFmt {
+			if a.IsStr {
+				vm.out.WriteString(a.Str)
+			} else {
+				v := vm.regVal(fr, a.Val)
+				if v.IsF {
+					fmt.Fprintf(&vm.out, "%g", v.F)
+				} else {
+					fmt.Fprintf(&vm.out, "%d", v.I)
+				}
+			}
+		}
+
+	default:
+		v, err := vm.alu(fr, in)
+		if err != nil {
+			return fmt.Errorf("vm: %w (stmt %d in %s)", err, in.Stmt, fr.Fn.Name)
+		}
+		vm.setReg(fr, in.Dst, v)
+	}
+	return nil
+}
+
+// accountCycles advances the clock: one issue slot per instruction plus
+// stalls until register operands are ready; the destination becomes ready
+// after the opcode's latency.
+func (vm *VM) accountCycles(fr *Frame, in *mach.Instr) {
+	if in.Op == mach.NOP || in.IsMarker() {
+		return
+	}
+	var buf [8]mach.Opd
+	issue := vm.Cycles
+	for _, u := range in.Uses(buf[:0]) {
+		var r int64
+		if u.Class == mach.FloatClass {
+			r = fr.readyFv[u.R]
+		} else {
+			r = fr.readyI[u.R]
+		}
+		if r > issue {
+			issue = r
+		}
+	}
+	vm.Cycles = issue + 1
+	if d := in.Def(); d.IsReg() {
+		done := issue + int64(in.Op.Latency())
+		if d.Class == mach.FloatClass {
+			fr.readyFv[d.R] = done
+		} else {
+			fr.readyI[d.R] = done
+		}
+	}
+}
+
+func (vm *VM) doReturn(v Val) error {
+	fr := vm.stack[len(vm.stack)-1]
+	vm.sp = fr.Base
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	if len(vm.stack) == 0 {
+		vm.halted = true
+		vm.retVal = v
+		return nil
+	}
+	caller := vm.Top()
+	if fr.retDst.Kind == mach.Reg {
+		vm.setReg(caller, fr.retDst, v)
+	}
+	return nil
+}
+
+func (vm *VM) alu(fr *Frame, in *mach.Instr) (Val, error) {
+	a := vm.regVal(fr, in.A)
+	b := vm.regVal(fr, in.B)
+	ai, bi := a.I, b.I
+	af, bf := a.F, b.F
+	if !a.IsF {
+		af = float64(a.I)
+	}
+	if !b.IsF {
+		bf = float64(b.I)
+	}
+	w := func(x int64) Val { return Val{I: int64(int32(x))} }
+	bl := func(c bool) Val {
+		if c {
+			return Val{I: 1}
+		}
+		return Val{I: 0}
+	}
+	switch in.Op {
+	case mach.ADD:
+		return w(ai + bi), nil
+	case mach.SUB:
+		return w(ai - bi), nil
+	case mach.MUL:
+		return w(ai * bi), nil
+	case mach.DIV:
+		if bi == 0 {
+			return Val{}, fmt.Errorf("integer division by zero")
+		}
+		return w(ai / bi), nil
+	case mach.REM:
+		if bi == 0 {
+			return Val{}, fmt.Errorf("integer remainder by zero")
+		}
+		return w(ai % bi), nil
+	case mach.SHL:
+		return w(ai << (uint(bi) & 31)), nil
+	case mach.SHR:
+		return w(ai >> (uint(bi) & 31)), nil
+	case mach.OR:
+		return w(ai | bi), nil
+	case mach.XOR:
+		return w(ai ^ bi), nil
+	case mach.SEQ:
+		return bl(ai == bi), nil
+	case mach.SNE:
+		return bl(ai != bi), nil
+	case mach.SLT:
+		return bl(ai < bi), nil
+	case mach.SLE:
+		return bl(ai <= bi), nil
+	case mach.SGT:
+		return bl(ai > bi), nil
+	case mach.SGE:
+		return bl(ai >= bi), nil
+	case mach.NEG:
+		return w(-ai), nil
+	case mach.NOT:
+		return bl(ai == 0 && !a.IsF), nil
+	case mach.FADD:
+		return Val{F: af + bf, IsF: true}, nil
+	case mach.FSUB:
+		return Val{F: af - bf, IsF: true}, nil
+	case mach.FMUL:
+		return Val{F: af * bf, IsF: true}, nil
+	case mach.FDIV:
+		if bf == 0 {
+			return Val{}, fmt.Errorf("float division by zero")
+		}
+		return Val{F: af / bf, IsF: true}, nil
+	case mach.FNEG:
+		return Val{F: -af, IsF: true}, nil
+	case mach.FSEQ:
+		return bl(af == bf), nil
+	case mach.FSNE:
+		return bl(af != bf), nil
+	case mach.FSLT:
+		return bl(af < bf), nil
+	case mach.FSLE:
+		return bl(af <= bf), nil
+	case mach.FSGT:
+		return bl(af > bf), nil
+	case mach.FSGE:
+		return bl(af >= bf), nil
+	case mach.CVTIF:
+		return Val{F: float64(ai), IsF: true}, nil
+	case mach.CVTFI:
+		return w(int64(af)), nil
+	}
+	return Val{}, fmt.Errorf("unimplemented opcode %s", in.Op)
+}
