@@ -27,10 +27,8 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/bench"
-	"repro/internal/compile"
 	"repro/internal/core"
-	"repro/internal/opt"
-	"repro/internal/vm"
+	"repro/pkg/minic"
 )
 
 func main() {
@@ -58,30 +56,31 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := compile.Config{Opt: opt.O2(), RegAlloc: true, Sched: true}
+	opts := []minic.Option{minic.WithOptLevel(2)}
 	switch {
 	case *o0:
-		cfg = compile.Config{Opt: opt.O0()}
+		opts = []minic.Option{minic.WithOptLevel(0)}
 	case *o1:
-		cfg = compile.Config{Opt: opt.O1(), RegAlloc: true, Sched: true}
+		opts = []minic.Option{minic.WithOptLevel(1)}
 	case *o2:
 		// default
 	}
 	if *noRA {
-		cfg.RegAlloc = false
+		opts = append(opts, minic.WithRegAlloc(false))
 	}
 	if *noSched {
-		cfg.Sched = false
+		opts = append(opts, minic.WithSched(false))
 	}
 	if *noMarkers {
-		cfg.Opt.NoMarkers = true
+		opts = append(opts, minic.WithMarkers(false))
 	}
 
-	res, err := compile.Compile(name, src, cfg)
+	art, err := minic.Compile(name, src, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	res := art.Result()
 
 	if *dumpAST {
 		for _, fn := range res.Sem.Funcs {
@@ -103,16 +102,12 @@ func main() {
 	}
 
 	if *stats {
-		printStats(res)
+		printStats(art)
 	}
 
 	if *run {
-		m, err := vm.New(res.Mach)
+		m, err := art.Run()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := m.Run(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -132,12 +127,12 @@ func readSource(name string) (string, error) {
 	return "", fmt.Errorf("mcc: cannot open %q (not a file or built-in workload)", name)
 }
 
-func printStats(res *compile.Result) {
+func printStats(art *minic.Artifact) {
 	fmt.Println("per-breakpoint variable classification (averages):")
 	fmt.Printf("%-12s %8s %8s %10s %8s %11s %9s\n",
 		"function", "uninit", "current", "noncurrent", "suspect", "nonresident", "recovered")
-	for _, f := range res.Mach.Funcs {
-		a := core.Analyze(f)
+	for _, f := range art.Funcs() {
+		a := art.Analysis(f)
 		var uninit, cur, noncur, susp, nonres, rec, bps int
 		for s := 0; s < f.Decl.NumStmts; s++ {
 			cs, ok := a.ClassifyAllAt(s)

@@ -1,0 +1,100 @@
+// mcd is the debug-session daemon: a long-lived service speaking a
+// line-delimited JSON protocol, serving any number of concurrent debug
+// sessions over a shared compiled-artifact cache. By default it serves
+// one connection on stdin/stdout (handy for scripting and tests); with
+// -listen or -unix it accepts many concurrent connections that share the
+// artifact cache and session table.
+//
+// Usage:
+//
+//	mcd [flags]
+//
+// Flags:
+//
+//	-listen addr     also serve TCP connections on addr (e.g. :7070)
+//	-unix path       also serve connections on a unix socket
+//	-cache n         artifact cache size in entries (default 32)
+//	-max-sessions n  concurrent session limit (default 64)
+//	-budget n        per-session execution budget in instructions
+//	-workers n       analysis precompute worker pool (default GOMAXPROCS)
+//
+// Protocol example (one request per line, one response per line):
+//
+//	{"id":1,"cmd":"compile","workload":"compress"}
+//	{"id":2,"cmd":"open-session","artifact":"<id from 1>"}
+//	{"id":3,"cmd":"break","session":"s1","func":"compress","stmt":6}
+//	{"id":4,"cmd":"continue","session":"s1"}
+//	{"id":5,"cmd":"print","session":"s1","var":"w"}
+//	{"id":6,"cmd":"stats"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve TCP connections on this address")
+	unix := flag.String("unix", "", "serve connections on this unix socket path")
+	cache := flag.Int("cache", server.DefaultCacheSize, "artifact cache size (entries)")
+	maxSess := flag.Int("max-sessions", server.DefaultMaxSessions, "concurrent session limit")
+	budget := flag.Int64("budget", server.DefaultStepBudget, "per-session execution budget (instructions)")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	s := server.New(server.Options{
+		CacheSize:       *cache,
+		MaxSessions:     *maxSess,
+		StepBudget:      *budget,
+		AnalysisWorkers: *workers,
+	})
+
+	errc := make(chan error, 2)
+	serving := false
+	if *listen != "" {
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mcd: listening on %s\n", l.Addr())
+		serving = true
+		go func() { errc <- s.ListenAndServe(l) }()
+	}
+	if *unix != "" {
+		l, err := net.Listen("unix", *unix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mcd: listening on unix socket %s\n", *unix)
+		serving = true
+		go func() { errc <- s.ListenAndServe(l) }()
+	}
+
+	if !serving {
+		if err := s.Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	// Listeners only: stdin still drives a session stream if piped, else
+	// block on the listeners.
+	st, _ := os.Stdin.Stat()
+	if st != nil && (st.Mode()&os.ModeCharDevice) == 0 {
+		if err := s.Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := <-errc; err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -31,9 +31,7 @@ import (
 	"strconv"
 
 	"repro/internal/bench"
-	"repro/internal/compile"
-	"repro/internal/debugger"
-	"repro/internal/opt"
+	"repro/pkg/minic"
 )
 
 func main() {
@@ -53,23 +51,23 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := compile.Config{Opt: opt.O2(), RegAlloc: true, Sched: true}
+	opts := []minic.Option{minic.WithOptLevel(2)}
 	if *o0 {
-		cfg = compile.Config{Opt: opt.O0()}
+		opts = []minic.Option{minic.WithOptLevel(0)}
 	}
 	if *noRA {
-		cfg.RegAlloc = false
+		opts = append(opts, minic.WithRegAlloc(false))
 	}
 	if *noSched {
-		cfg.Sched = false
+		opts = append(opts, minic.WithSched(false))
 	}
 
-	res, err := compile.Compile(name, src, cfg)
+	art, err := minic.Compile(name, src, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	d, err := debugger.New(res)
+	d, err := minic.NewSession(art)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -11,10 +11,8 @@ import (
 	"log"
 
 	"repro/internal/ast"
-	"repro/internal/compile"
-	"repro/internal/core"
-	"repro/internal/debugger"
 	"repro/internal/opt"
+	"repro/pkg/minic"
 )
 
 const program = `
@@ -30,17 +28,16 @@ int main() { return g(0, 5, 4); }
 `
 
 func main() {
-	cfg := compile.Config{Opt: opt.Options{PDCE: true, DCE: true}}
-	res, err := compile.Compile("fig3.mc", program, cfg)
+	art, err := minic.Compile("fig3.mc", program, minic.WithPasses(opt.Options{PDCE: true, DCE: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	f := res.Mach.LookupFunc("g")
+	f := art.Func("g")
 
 	fmt.Println("=== optimized machine code (note !sunk and the markdead marker) ===")
 	fmt.Println(f.String())
 
-	a := core.Analyze(f)
+	a := art.Analysis(f)
 	var x *ast.Object
 	for _, v := range f.Decl.Locals {
 		if v.Name == "x" {
@@ -59,7 +56,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("=== live session: main calls g(0, 5, 4) — the else path ===")
-	dbg, err := debugger.New(res)
+	dbg, err := minic.NewSession(art)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,10 +9,10 @@ import (
 	"log"
 
 	"repro/internal/ast"
-	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/mach"
 	"repro/internal/opt"
+	"repro/pkg/minic"
 )
 
 // The Figure 2 pattern: x = y+z appears on one arm of a branch and again
@@ -33,17 +33,17 @@ int main() { return f(1, 2, 3); }
 `
 
 func main() {
-	cfg := compile.Config{Opt: opt.Options{PRE: true}}
-	res, err := compile.Compile("fig2.mc", program, cfg)
+	art, err := minic.Compile("fig2.mc", program, minic.WithPasses(opt.Options{PRE: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	f := res.Mach.LookupFunc("f")
+	res := art.Result()
+	f := art.Func("f")
 
 	fmt.Println("=== optimized machine code (note !hoisted and the markavail marker) ===")
 	fmt.Println(f.String())
 
-	a := core.Analyze(f)
+	a := art.Analysis(f)
 	var x *ast.Object
 	for _, v := range f.Decl.Locals {
 		if v.Name == "x" {

@@ -7,8 +7,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/compile"
-	"repro/internal/debugger"
+	"repro/pkg/minic"
 )
 
 const program = `
@@ -33,12 +32,12 @@ func main() {
 	// Compile at -O2 with register allocation and scheduling: the exact
 	// code a user would ship — the debugger is non-invasive and gets no
 	// special code generation.
-	res, err := compile.Compile("quickstart.mc", program, compile.O2())
+	art, err := minic.Compile("quickstart.mc", program)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	dbg, err := debugger.New(res)
+	dbg, err := minic.NewSession(art)
 	if err != nil {
 		log.Fatal(err)
 	}

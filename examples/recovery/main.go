@@ -9,9 +9,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/compile"
-	"repro/internal/debugger"
 	"repro/internal/opt"
+	"repro/pkg/minic"
 )
 
 const fig4 = `
@@ -54,16 +53,16 @@ func main() {
 }
 
 func aliasDemo() {
-	cfg := compile.Config{Opt: opt.Options{AssignProp: true, PRE: true, CopyProp: true, DCE: true}}
-	res, err := compile.Compile("fig4.mc", fig4, cfg)
+	art, err := minic.Compile("fig4.mc", fig4,
+		minic.WithPasses(opt.Options{AssignProp: true, PRE: true, CopyProp: true, DCE: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("x = y+z was propagated into its uses, CSE merged the")
 	fmt.Println("re-computations into a temp, and DCE deleted x's assignment:")
-	fmt.Println(res.Mach.LookupFunc("h").String())
+	fmt.Println(art.Func("h").String())
 
-	dbg, err := debugger.New(res)
+	dbg, err := minic.NewSession(art)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,11 +81,11 @@ func aliasDemo() {
 }
 
 func constDemo() {
-	res, err := compile.Compile("const.mc", constProg, compile.Config{Opt: opt.Options{DCE: true}})
+	art, err := minic.Compile("const.mc", constProg, minic.WithPasses(opt.Options{DCE: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	dbg, err := debugger.New(res)
+	dbg, err := minic.NewSession(art)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,16 +111,16 @@ func ivDemo() {
 	// so the linear-recovery path is visible in isolation.
 	opts := opt.O2()
 	opts.Unroll = false
-	res, err := compile.Compile("iv.mc", ivProg, compile.Config{Opt: opts})
+	art, err := minic.Compile("iv.mc", ivProg, minic.WithPasses(opts))
 	if err != nil {
 		log.Fatal(err)
 	}
-	f := res.Mach.LookupFunc("main")
+	f := art.Func("main")
 	fmt.Println("after strength reduction + LFTR the loop counts in multiples")
 	fmt.Println("of the element size; look for !recover annotations:")
 	fmt.Println(f.String())
 
-	dbg, err := debugger.New(res)
+	dbg, err := minic.NewSession(art)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,18 +10,16 @@ import (
 	"log"
 
 	"repro/internal/bench"
-	"repro/internal/compile"
-	"repro/internal/core"
-	"repro/internal/debugger"
+	"repro/pkg/minic"
 )
 
 func main() {
 	src := bench.MustSource("compress")
-	res, err := compile.Compile("compress.mc", src, compile.O2())
+	art, err := minic.Compile("compress.mc", src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dbg, err := debugger.New(res)
+	dbg, err := minic.NewSession(art)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +33,7 @@ func main() {
 	}
 	fmt.Printf("breakpoint in compress() at statement %d (line %d)\n\n", bp.Stmt, bp.Line)
 
-	counts := map[core.State]int{}
+	counts := map[minic.State]int{}
 	recovered := 0
 	hits := 0
 	for hits < 50 {
@@ -67,8 +65,8 @@ func main() {
 	}
 
 	fmt.Printf("aggregate over %d breakpoint hits:\n", hits)
-	for _, s := range []core.State{core.Current, core.Uninitialized,
-		core.Nonresident, core.Noncurrent, core.Suspect} {
+	for _, s := range []minic.State{minic.Current, minic.Uninitialized,
+		minic.Nonresident, minic.Noncurrent, minic.Suspect} {
 		fmt.Printf("  %-14s %4d\n", s.String(), counts[s])
 	}
 	fmt.Printf("  %-14s %4d (shown with reconstructed values)\n", "recovered", recovered)

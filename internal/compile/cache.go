@@ -1,0 +1,154 @@
+package compile
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Key identifies one compiled artifact: the hash of the source text plus
+// the exact pipeline configuration. Two compiles with the same Key produce
+// identical machine programs, so their Results are interchangeable.
+type Key struct {
+	SrcHash [sha256.Size]byte
+	Cfg     Config
+}
+
+// KeyOf computes the cache key for a compilation request. The file name
+// participates in the hash because it appears in diagnostics and debug
+// positions.
+func KeyOf(name, src string, cfg Config) Key {
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	var k Key
+	h.Sum(k.SrcHash[:0])
+	k.Cfg = cfg
+	return k
+}
+
+// ID renders the key as a short stable identifier (for logs and protocol
+// artifact handles).
+func (k Key) ID() string {
+	// Fold the config into the printable id so the same source compiled
+	// under two configurations yields two distinct handles.
+	h := sha256.New()
+	h.Write(k.SrcHash[:])
+	fmt.Fprintf(h, "%+v", k.Cfg)
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits      int64 // requests served from a completed or in-flight compile
+	Misses    int64 // requests that ran the pipeline
+	Evictions int64 // completed entries dropped by the LRU bound
+	Entries   int   // resident entries (including in-flight)
+}
+
+// Cache is a concurrency-safe compiled-artifact cache with size-bounded
+// LRU eviction. Concurrent requests for the same Key are coalesced: the
+// first caller runs the pipeline while the others block and share its
+// Result, so N debug sessions on the same workload compile once.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	entries   map[Key]*cacheEntry
+	order     *list.List // front = most recently used, values are *cacheEntry
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  Key
+	elem *list.Element
+	done chan struct{} // closed once res/err are filled
+	res  *Result
+	err  error
+}
+
+// NewCache returns a cache bounded to max completed entries; max <= 0
+// means unbounded.
+func NewCache(max int) *Cache {
+	return &Cache{
+		max:     max,
+		entries: map[Key]*cacheEntry{},
+		order:   list.New(),
+	}
+}
+
+// Compile returns the Result for (name, src, cfg), compiling at most once
+// per key. hit reports whether the pipeline was skipped (the result came
+// from a completed or in-flight compile). Failed compiles are not cached:
+// every waiter receives the error and the key is forgotten.
+func (c *Cache) Compile(name, src string, cfg Config) (res *Result, hit bool, err error) {
+	key := KeyOf(name, src, cfg)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.done
+		return e.res, true, e.err
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.res, e.err = Compile(name, src, cfg)
+	close(e.done)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Entry may already have been evicted; delete is idempotent.
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+			c.order.Remove(e.elem)
+		}
+	} else {
+		c.evict()
+	}
+	c.mu.Unlock()
+	return e.res, false, e.err
+}
+
+// evict drops least-recently-used completed entries until the bound holds.
+// Called with c.mu held.
+func (c *Cache) evict() {
+	if c.max <= 0 {
+		return
+	}
+	for el := c.order.Back(); el != nil && len(c.entries) > c.max; {
+		e := el.Value.(*cacheEntry)
+		prev := el.Prev()
+		select {
+		case <-e.done:
+			delete(c.entries, e.key)
+			c.order.Remove(el)
+			c.evictions++
+		default:
+			// Never evict an in-flight compile: waiters hold its entry.
+		}
+		el = prev
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

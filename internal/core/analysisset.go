@@ -1,0 +1,86 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mach"
+)
+
+// AnalysisSet holds the per-function analyses of one compiled program so
+// that any number of debug sessions sharing a compile.Result reuse one
+// Analysis per function instead of re-solving the data-flow problems.
+// All methods are safe for concurrent use; an Analysis is immutable once
+// built, so the returned pointers may be shared freely.
+type AnalysisSet struct {
+	mu    sync.Mutex
+	m     map[*mach.Func]*analysisCell
+	opts  Options
+	built atomic.Int64
+}
+
+type analysisCell struct {
+	once sync.Once
+	a    *Analysis
+}
+
+// NewAnalysisSet returns an empty set using default classifier options.
+func NewAnalysisSet() *AnalysisSet { return NewAnalysisSetWith(Options{}) }
+
+// NewAnalysisSetWith returns an empty set whose analyses run with opts.
+func NewAnalysisSetWith(opts Options) *AnalysisSet {
+	return &AnalysisSet{m: map[*mach.Func]*analysisCell{}, opts: opts}
+}
+
+// Of returns the analysis for f, building it on first use. Concurrent
+// callers for the same function block on a single build.
+func (s *AnalysisSet) Of(f *mach.Func) *Analysis {
+	s.mu.Lock()
+	c, ok := s.m[f]
+	if !ok {
+		c = &analysisCell{}
+		s.m[f] = c
+	}
+	s.mu.Unlock()
+	c.once.Do(func() {
+		c.a = AnalyzeWith(f, s.opts)
+		s.built.Add(1)
+	})
+	return c.a
+}
+
+// Precompute builds the analyses for every function of p with a bounded
+// worker pool, so sessions opened afterwards never pay the analysis cost
+// on their first breakpoint. workers <= 0 selects GOMAXPROCS.
+func (s *AnalysisSet) Precompute(p *mach.Program, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n := len(p.Funcs); workers > n {
+		workers = n
+	}
+	if workers == 0 {
+		return
+	}
+	work := make(chan *mach.Func)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range work {
+				s.Of(f)
+			}
+		}()
+	}
+	for _, f := range p.Funcs {
+		work <- f
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Built returns how many analyses this set has constructed (each function
+// counts once, however many sessions share it).
+func (s *AnalysisSet) Built() int64 { return s.built.Load() }

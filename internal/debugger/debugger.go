@@ -27,18 +27,28 @@ type Breakpoint struct {
 	Loc  debuginfo.Loc
 }
 
-// Debugger drives one debug session.
+// Debugger drives one debug session. Multiple sessions may share one
+// compile.Result (and one core.AnalysisSet, via NewShared): the compiled
+// program and its analyses are immutable, while all mutable run state
+// lives in the per-session VM.
 type Debugger struct {
 	Res *compile.Result
 	VM  *vm.VM
 
-	analyses map[*mach.Func]*core.Analysis
+	analyses *core.AnalysisSet
 	breaks   []*Breakpoint
 	stopped  *Breakpoint
 }
 
-// New prepares a session for a compiled program.
+// New prepares a session for a compiled program with its own analysis set.
 func New(res *compile.Result) (*Debugger, error) {
+	return NewShared(res, core.NewAnalysisSet())
+}
+
+// NewShared prepares a session that draws per-function analyses from set,
+// so concurrent sessions over the same compiled program solve each
+// function's data-flow problems once.
+func NewShared(res *compile.Result, set *core.AnalysisSet) (*Debugger, error) {
 	m, err := vm.New(res.Mach)
 	if err != nil {
 		return nil, err
@@ -46,18 +56,14 @@ func New(res *compile.Result) (*Debugger, error) {
 	return &Debugger{
 		Res:      res,
 		VM:       m,
-		analyses: map[*mach.Func]*core.Analysis{},
+		analyses: set,
 	}, nil
 }
 
-// analysisOf lazily runs the core analyses per function.
+// analysisOf returns the core analyses for one function, building them on
+// first use.
 func (d *Debugger) analysisOf(f *mach.Func) *core.Analysis {
-	a, ok := d.analyses[f]
-	if !ok {
-		a = core.Analyze(f)
-		d.analyses[f] = a
-	}
-	return a
+	return d.analyses.Of(f)
 }
 
 // stmtLine returns the source line of statement s in fn.
@@ -83,19 +89,19 @@ func (d *Debugger) BreakAtLine(line int) (*Breakpoint, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("debugger: no statement on line %d", line)
+	return nil, fmt.Errorf("debugger: %w %d", ErrNoSuchLine, line)
 }
 
 // BreakAtStmt sets a breakpoint at statement stmt of the named function.
 func (d *Debugger) BreakAtStmt(funcName string, stmt int) (*Breakpoint, error) {
 	f := d.Res.Mach.LookupFunc(funcName)
 	if f == nil {
-		return nil, fmt.Errorf("debugger: no function %q", funcName)
+		return nil, fmt.Errorf("debugger: %w: %q", ErrNoSuchFunc, funcName)
 	}
 	a := d.analysisOf(f)
 	loc, ok := a.Table.LocOf(stmt)
 	if !ok {
-		return nil, fmt.Errorf("debugger: statement %d of %s has no code location", stmt, funcName)
+		return nil, fmt.Errorf("debugger: %w: statement %d of %s", ErrNoStmtLoc, stmt, funcName)
 	}
 	bp := &Breakpoint{Fn: f, Stmt: stmt, Line: d.stmtLine(f, stmt), Loc: loc}
 	d.breaks = append(d.breaks, bp)
@@ -269,7 +275,7 @@ func fmtVal(v vm.Val) string {
 // Print reports on one variable at the current stop.
 func (d *Debugger) Print(name string) (*VarReport, error) {
 	if d.stopped == nil {
-		return nil, fmt.Errorf("debugger: not stopped at a breakpoint")
+		return nil, fmt.Errorf("debugger: %w", ErrNotStopped)
 	}
 	bp := d.stopped
 	a := d.analysisOf(bp.Fn)
@@ -289,7 +295,7 @@ func (d *Debugger) Print(name string) (*VarReport, error) {
 				return d.reportGlobal(g)
 			}
 		}
-		return nil, fmt.Errorf("debugger: no variable %q in scope at this breakpoint", name)
+		return nil, fmt.Errorf("debugger: %w: %q at this breakpoint", ErrNoSuchVar, name)
 	}
 	return d.report(bp, obj)
 }
@@ -322,7 +328,7 @@ func (d *Debugger) reportGlobal(g *ast.Object) (*VarReport, error) {
 // Info reports on every variable in scope at the current stop.
 func (d *Debugger) Info() ([]*VarReport, error) {
 	if d.stopped == nil {
-		return nil, fmt.Errorf("debugger: not stopped at a breakpoint")
+		return nil, fmt.Errorf("debugger: %w", ErrNotStopped)
 	}
 	bp := d.stopped
 	a := d.analysisOf(bp.Fn)
@@ -341,7 +347,7 @@ func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
 	a := d.analysisOf(bp.Fn)
 	cls, ok := a.ClassifyAt(bp.Stmt, obj)
 	if !ok {
-		return nil, fmt.Errorf("debugger: statement %d has no location", bp.Stmt)
+		return nil, fmt.Errorf("debugger: %w: statement %d", ErrNoStmtLoc, bp.Stmt)
 	}
 	r := &VarReport{Name: obj.Name, Class: cls}
 	for _, s := range cls.SrcStmts {

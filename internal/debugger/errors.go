@@ -1,0 +1,21 @@
+package debugger
+
+import "errors"
+
+// Sentinel errors returned (wrapped, with context) by session commands so
+// callers — in particular the debug-session server — can map failures to
+// stable error codes with errors.Is instead of matching message strings.
+var (
+	// ErrNoSuchLine: no statement starts on the requested source line.
+	ErrNoSuchLine = errors.New("no statement on line")
+	// ErrNoSuchFunc: the named function does not exist in the program.
+	ErrNoSuchFunc = errors.New("no such function")
+	// ErrNoStmtLoc: the statement exists but optimization left it without
+	// any code location to break on.
+	ErrNoStmtLoc = errors.New("statement has no code location")
+	// ErrNotStopped: the command needs the session to be stopped at a
+	// breakpoint, and it is not.
+	ErrNotStopped = errors.New("not stopped at a breakpoint")
+	// ErrNoSuchVar: no variable with that name is in scope at the stop.
+	ErrNoSuchVar = errors.New("no variable in scope")
+)

@@ -1,0 +1,102 @@
+package debugger
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+const errProg = `
+int main() {
+	int x = 10;
+	print(x);
+	return x;
+}
+`
+
+func TestTypedErrors(t *testing.T) {
+	d := session(t, errProg, compile.O2())
+
+	if _, err := d.BreakAtLine(999); !errors.Is(err, ErrNoSuchLine) {
+		t.Errorf("BreakAtLine(999) = %v, want ErrNoSuchLine", err)
+	}
+	if _, err := d.BreakAtStmt("nope", 0); !errors.Is(err, ErrNoSuchFunc) {
+		t.Errorf("BreakAtStmt(nope) = %v, want ErrNoSuchFunc", err)
+	}
+	if _, err := d.BreakAtStmt("main", 9999); !errors.Is(err, ErrNoStmtLoc) {
+		t.Errorf("BreakAtStmt(main, 9999) = %v, want ErrNoStmtLoc", err)
+	}
+	if _, err := d.Print("x"); !errors.Is(err, ErrNotStopped) {
+		t.Errorf("Print before stop = %v, want ErrNotStopped", err)
+	}
+	if _, err := d.Info(); !errors.Is(err, ErrNotStopped) {
+		t.Errorf("Info before stop = %v, want ErrNotStopped", err)
+	}
+	if _, err := d.BreakAtStmt("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if bp, err := d.Continue(); err != nil || bp == nil {
+		t.Fatalf("Continue = %v, %v", bp, err)
+	}
+	if _, err := d.Print("nosuchvar"); !errors.Is(err, ErrNoSuchVar) {
+		t.Errorf("Print(nosuchvar) = %v, want ErrNoSuchVar", err)
+	}
+}
+
+func TestStepBudgetError(t *testing.T) {
+	d := session(t, `
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 100000; i++) { s += i; }
+	return s;
+}
+`, compile.O0())
+	d.VM.MaxSteps = 50
+	_, err := d.Continue()
+	if !errors.Is(err, vm.ErrStepLimit) {
+		t.Fatalf("Continue under tiny budget = %v, want vm.ErrStepLimit", err)
+	}
+}
+
+// TestSharedResultAcrossSessions runs several sessions over one
+// compile.Result and one AnalysisSet concurrently — the data race the
+// unguarded analysisOf map used to have (caught by -race).
+func TestSharedResultAcrossSessions(t *testing.T) {
+	res, err := compile.Compile("t.mc", errProg, compile.O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := core.NewAnalysisSet()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			d, err := NewShared(res, set)
+			if err != nil {
+				done <- err
+				return
+			}
+			if _, err := d.BreakAtStmt("main", 1); err != nil {
+				done <- err
+				return
+			}
+			if bp, err := d.Continue(); err != nil || bp == nil {
+				done <- err
+				return
+			}
+			_, err = d.Print("x")
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := set.Built(), int64(1); got != want {
+		t.Fatalf("8 sessions built %d analyses of main, want %d", got, want)
+	}
+}

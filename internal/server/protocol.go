@@ -1,0 +1,128 @@
+// Package server implements the long-lived debug-session service: a
+// line-delimited JSON protocol over stdin/stdout or a TCP/unix listener,
+// multiplexing any number of concurrent debug sessions over a shared
+// compiled-artifact cache. One request per line, one response per line,
+// answered in order per connection; separate connections are served
+// concurrently and see the same artifact and session tables.
+//
+// Commands:
+//
+//	compile      {name, src | workload, config?}    -> {artifact, cached, funcs}
+//	open-session {artifact}                         -> {session}
+//	break        {session, line | func+stmt}        -> {stop}
+//	continue     {session}                          -> {stop | exited, output}
+//	step         {session}                          -> {stop | exited, output}
+//	print        {session, var}                     -> {vars: [1]}
+//	info         {session}                          -> {vars}
+//	where        {session}                          -> {stop}
+//	close        {session}                          -> {}
+//	stats        {}                                 -> {stats}
+package server
+
+// Request is one protocol command (one JSON object per line).
+type Request struct {
+	ID  int64  `json:"id,omitempty"`
+	Cmd string `json:"cmd"`
+
+	// compile
+	Name     string      `json:"name,omitempty"`
+	Src      string      `json:"src,omitempty"`
+	Workload string      `json:"workload,omitempty"` // built-in bench workload by name
+	Config   *ConfigSpec `json:"config,omitempty"`
+
+	// open-session
+	Artifact string `json:"artifact,omitempty"`
+
+	// session commands
+	Session string `json:"session,omitempty"`
+	Func    string `json:"func,omitempty"`
+	Stmt    *int   `json:"stmt,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Var     string `json:"var,omitempty"`
+}
+
+// ConfigSpec selects the pipeline configuration over the wire. The zero
+// value (or a nil *ConfigSpec) means full optimization: O2 with register
+// allocation and scheduling.
+type ConfigSpec struct {
+	Opt      string `json:"opt,omitempty"`      // "O0", "O1" or "O2" (default "O2")
+	RegAlloc *bool  `json:"regalloc,omitempty"` // default true
+	Sched    *bool  `json:"sched,omitempty"`    // default true
+}
+
+// Response answers one Request, echoing its ID.
+type Response struct {
+	ID    int64       `json:"id,omitempty"`
+	OK    bool        `json:"ok"`
+	Error *ProtoError `json:"error,omitempty"`
+
+	// compile
+	Artifact string `json:"artifact,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	Funcs    int    `json:"funcs,omitempty"`
+
+	// open-session
+	Session string `json:"session,omitempty"`
+
+	// break / continue / step / where
+	Stop   *StopInfo `json:"stop,omitempty"`
+	Exited bool      `json:"exited,omitempty"`
+	Output string    `json:"output,omitempty"`
+
+	// print / info
+	Vars []VarInfo `json:"vars,omitempty"`
+
+	// stats
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// StopInfo describes where a session is stopped.
+type StopInfo struct {
+	Func string `json:"func"`
+	Stmt int    `json:"stmt"`
+	Line int    `json:"line"`
+}
+
+// VarInfo is one classified variable at a stop. Display is the exact
+// warning-annotated rendering the command-line debugger prints.
+type VarInfo struct {
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Display string `json:"display"`
+}
+
+// ProtoError carries a stable machine-readable code plus the human text.
+type ProtoError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Protocol error codes.
+const (
+	CodeBadRequest     = "bad-request"
+	CodeCompileError   = "compile-error"
+	CodeNoSuchArtifact = "no-such-artifact"
+	CodeNoSuchSession  = "no-such-session"
+	CodeSessionLimit   = "session-limit"
+	CodeNoSuchLine     = "no-such-line"
+	CodeNoSuchFunc     = "no-such-func"
+	CodeNoStmtLoc      = "no-such-stmt"
+	CodeNotStopped     = "not-stopped"
+	CodeNoSuchVar      = "no-such-var"
+	CodeBudget         = "budget-exceeded"
+	CodeInternal       = "internal"
+)
+
+// Stats is the metrics snapshot reported by the stats command.
+type Stats struct {
+	SessionsActive int64 `json:"sessions_active"`
+	SessionsOpened int64 `json:"sessions_opened"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheEntries   int   `json:"cache_entries"`
+	AnalysesBuilt  int64 `json:"analyses_built"`
+	CyclesExecuted int64 `json:"cycles_executed"`
+	Requests       int64 `json:"requests"`
+	Panics         int64 `json:"panics"`
+}

@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/debugger"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// Options tunes the service's robustness rails. The zero value selects
+// the defaults below.
+type Options struct {
+	// CacheSize bounds the compiled-artifact cache (entries); <= 0 means
+	// DefaultCacheSize.
+	CacheSize int
+	// MaxSessions caps concurrently open sessions; <= 0 means
+	// DefaultMaxSessions.
+	MaxSessions int
+	// StepBudget is the per-session execution budget: the total number of
+	// instructions a session may execute across all continue/step
+	// commands before it is cut off with a budget-exceeded error. <= 0
+	// means DefaultStepBudget.
+	StepBudget int64
+	// AnalysisWorkers bounds the worker pool that precomputes the
+	// per-function core analyses after a compile; <= 0 means GOMAXPROCS.
+	AnalysisWorkers int
+}
+
+// Defaults for Options.
+const (
+	DefaultCacheSize   = 32
+	DefaultMaxSessions = 64
+	DefaultStepBudget  = int64(500_000_000)
+)
+
+// Artifact is one compiled program plus its shared analysis set. Every
+// session opened on it reuses both.
+type Artifact struct {
+	ID       string
+	Res      *compile.Result
+	Analyses *core.AnalysisSet
+}
+
+type session struct {
+	id  string
+	art *Artifact
+
+	mu     sync.Mutex // serializes commands racing on one session
+	dbg    *debugger.Debugger
+	cycles int64 // VM cycles already credited to the metrics
+}
+
+// Server is the long-lived debug-session service. It is safe for
+// concurrent use: Serve may be called from any number of connection
+// goroutines against one Server.
+type Server struct {
+	opts  Options
+	cache *compile.Cache
+
+	mu        sync.Mutex
+	artifacts map[string]*Artifact
+	sessions  map[string]*session
+	nextSess  int64
+
+	sessionsOpened atomic.Int64
+	cyclesExecuted atomic.Int64
+	requests       atomic.Int64
+	panics         atomic.Int64
+}
+
+// New creates a service with the given options.
+func New(opts Options) *Server {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
+	if opts.StepBudget <= 0 {
+		opts.StepBudget = DefaultStepBudget
+	}
+	return &Server{
+		opts:      opts,
+		cache:     compile.NewCache(opts.CacheSize),
+		artifacts: map[string]*Artifact{},
+		sessions:  map[string]*session{},
+	}
+}
+
+// Serve answers requests from r on w, one JSON object per line, until r
+// is exhausted. Responses are written in request order.
+func (s *Server) Serve(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp *Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = errResp(0, CodeBadRequest, fmt.Sprintf("malformed request: %v", err))
+		} else {
+			resp = s.Handle(&req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ListenAndServe accepts connections on l and serves each concurrently
+// against the shared artifact cache and session table. It returns when
+// the listener is closed.
+func (s *Server) ListenAndServe(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.Serve(conn, conn)
+		}()
+	}
+}
+
+// Handle answers one request. Panics in command handlers are recovered
+// and reported as internal protocol errors, so one bad request cannot
+// take down the service.
+func (s *Server) Handle(req *Request) (resp *Response) {
+	s.requests.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			resp = errResp(req.ID, CodeInternal,
+				fmt.Sprintf("panic in %q: %v\n%s", req.Cmd, r, debug.Stack()))
+		}
+	}()
+	switch req.Cmd {
+	case "compile":
+		return s.handleCompile(req)
+	case "open-session":
+		return s.handleOpen(req)
+	case "break", "continue", "step", "print", "info", "where", "close":
+		return s.handleSession(req)
+	case "stats":
+		st := s.Snapshot()
+		return &Response{ID: req.ID, OK: true, Stats: &st}
+	default:
+		return errResp(req.ID, CodeBadRequest, fmt.Sprintf("unknown command %q", req.Cmd))
+	}
+}
+
+// configOf resolves a wire ConfigSpec to a pipeline Config.
+func configOf(spec *ConfigSpec) (compile.Config, error) {
+	cfg := compile.Config{Opt: opt.O2(), RegAlloc: true, Sched: true}
+	if spec == nil {
+		return cfg, nil
+	}
+	switch spec.Opt {
+	case "", "O2":
+	case "O1":
+		cfg.Opt = opt.O1()
+	case "O0":
+		cfg.Opt = opt.O0()
+		cfg.RegAlloc = false
+		cfg.Sched = false
+	default:
+		return cfg, fmt.Errorf("unknown opt level %q (want O0, O1 or O2)", spec.Opt)
+	}
+	if spec.RegAlloc != nil {
+		cfg.RegAlloc = *spec.RegAlloc
+	}
+	if spec.Sched != nil {
+		cfg.Sched = *spec.Sched
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleCompile(req *Request) *Response {
+	name, src := req.Name, req.Src
+	if req.Workload != "" {
+		if src != "" {
+			return errResp(req.ID, CodeBadRequest, "give src or workload, not both")
+		}
+		ws, err := bench.Source(req.Workload)
+		if err != nil {
+			return errResp(req.ID, CodeBadRequest, err.Error())
+		}
+		name, src = req.Workload+".mc", ws
+	}
+	if src == "" {
+		return errResp(req.ID, CodeBadRequest, "compile needs src or workload")
+	}
+	if name == "" {
+		name = "input.mc"
+	}
+	cfg, err := configOf(req.Config)
+	if err != nil {
+		return errResp(req.ID, CodeBadRequest, err.Error())
+	}
+	res, hit, err := s.cache.Compile(name, src, cfg)
+	if err != nil {
+		return errResp(req.ID, CodeCompileError, err.Error())
+	}
+	id := compile.KeyOf(name, src, cfg).ID()
+
+	s.mu.Lock()
+	art, ok := s.artifacts[id]
+	if !ok {
+		art = &Artifact{ID: id, Res: res, Analyses: core.NewAnalysisSet()}
+		s.artifacts[id] = art
+	}
+	s.mu.Unlock()
+	if !ok {
+		// Precompute every function's analyses once with a bounded pool,
+		// so sessions never pay the data-flow cost at their first stop.
+		art.Analyses.Precompute(art.Res.Mach, s.opts.AnalysisWorkers)
+	}
+	return &Response{ID: req.ID, OK: true, Artifact: id, Cached: hit, Funcs: len(art.Res.Mach.Funcs)}
+}
+
+func (s *Server) handleOpen(req *Request) *Response {
+	s.mu.Lock()
+	art, ok := s.artifacts[req.Artifact]
+	s.mu.Unlock()
+	if !ok {
+		return errResp(req.ID, CodeNoSuchArtifact, fmt.Sprintf("no artifact %q (compile first)", req.Artifact))
+	}
+	dbg, err := debugger.NewShared(art.Res, art.Analyses)
+	if err != nil {
+		return errResp(req.ID, CodeCompileError, err.Error())
+	}
+	dbg.VM.MaxSteps = s.opts.StepBudget
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		return errResp(req.ID, CodeSessionLimit,
+			fmt.Sprintf("session limit reached (%d open)", s.opts.MaxSessions))
+	}
+	s.nextSess++
+	sess := &session{id: fmt.Sprintf("s%d", s.nextSess), art: art, dbg: dbg}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	s.sessionsOpened.Add(1)
+	return &Response{ID: req.ID, OK: true, Session: sess.id, Artifact: art.ID}
+}
+
+func (s *Server) handleSession(req *Request) *Response {
+	s.mu.Lock()
+	sess, ok := s.sessions[req.Session]
+	s.mu.Unlock()
+	if !ok {
+		return errResp(req.ID, CodeNoSuchSession, fmt.Sprintf("no session %q", req.Session))
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	switch req.Cmd {
+	case "break":
+		var bp *debugger.Breakpoint
+		var err error
+		switch {
+		case req.Func != "" && req.Stmt != nil:
+			bp, err = sess.dbg.BreakAtStmt(req.Func, *req.Stmt)
+		case req.Line > 0:
+			bp, err = sess.dbg.BreakAtLine(req.Line)
+		default:
+			return errResp(req.ID, CodeBadRequest, "break needs line or func+stmt")
+		}
+		if err != nil {
+			return s.errorOf(req.ID, err)
+		}
+		return &Response{ID: req.ID, OK: true, Stop: stopOf(bp)}
+
+	case "continue", "step":
+		run := sess.dbg.Continue
+		if req.Cmd == "step" {
+			run = sess.dbg.Step
+		}
+		bp, err := run()
+		s.creditCycles(sess)
+		if err != nil {
+			return s.errorOf(req.ID, err)
+		}
+		if bp == nil {
+			return &Response{ID: req.ID, OK: true, Exited: true, Output: sess.dbg.Output()}
+		}
+		return &Response{ID: req.ID, OK: true, Stop: stopOf(bp)}
+
+	case "print":
+		if req.Var == "" {
+			return errResp(req.ID, CodeBadRequest, "print needs var")
+		}
+		r, err := sess.dbg.Print(req.Var)
+		if err != nil {
+			return s.errorOf(req.ID, err)
+		}
+		return &Response{ID: req.ID, OK: true, Vars: []VarInfo{varOf(r)}}
+
+	case "info":
+		rs, err := sess.dbg.Info()
+		if err != nil {
+			return s.errorOf(req.ID, err)
+		}
+		vars := make([]VarInfo, 0, len(rs))
+		for _, r := range rs {
+			vars = append(vars, varOf(r))
+		}
+		return &Response{ID: req.ID, OK: true, Vars: vars}
+
+	case "where":
+		if bp := sess.dbg.Stopped(); bp != nil {
+			return &Response{ID: req.ID, OK: true, Stop: stopOf(bp)}
+		}
+		return &Response{ID: req.ID, OK: true, Exited: sess.dbg.Halted()}
+
+	case "close":
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		return &Response{ID: req.ID, OK: true, Output: sess.dbg.Output()}
+	}
+	return errResp(req.ID, CodeBadRequest, fmt.Sprintf("unknown command %q", req.Cmd))
+}
+
+// creditCycles folds the session VM's cycle progress into the service
+// metric. Called with sess.mu held.
+func (s *Server) creditCycles(sess *session) {
+	now := sess.dbg.VM.Cycles
+	s.cyclesExecuted.Add(now - sess.cycles)
+	sess.cycles = now
+}
+
+func stopOf(bp *debugger.Breakpoint) *StopInfo {
+	return &StopInfo{Func: bp.Fn.Name, Stmt: bp.Stmt, Line: bp.Line}
+}
+
+func varOf(r *debugger.VarReport) VarInfo {
+	return VarInfo{Name: r.Name, State: r.Class.State.String(), Display: r.Display()}
+}
+
+// errorOf maps a session error to its stable protocol code.
+func (s *Server) errorOf(id int64, err error) *Response {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, debugger.ErrNoSuchLine):
+		code = CodeNoSuchLine
+	case errors.Is(err, debugger.ErrNoSuchFunc):
+		code = CodeNoSuchFunc
+	case errors.Is(err, debugger.ErrNoStmtLoc):
+		code = CodeNoStmtLoc
+	case errors.Is(err, debugger.ErrNotStopped):
+		code = CodeNotStopped
+	case errors.Is(err, debugger.ErrNoSuchVar):
+		code = CodeNoSuchVar
+	case errors.Is(err, vm.ErrStepLimit):
+		code = CodeBudget
+	}
+	return errResp(id, code, err.Error())
+}
+
+func errResp(id int64, code, msg string) *Response {
+	return &Response{ID: id, OK: false, Error: &ProtoError{Code: code, Message: msg}}
+}
+
+// Snapshot returns the current metrics.
+func (s *Server) Snapshot() Stats {
+	cs := s.cache.Stats()
+	s.mu.Lock()
+	active := int64(len(s.sessions))
+	var built int64
+	for _, a := range s.artifacts {
+		built += a.Analyses.Built()
+	}
+	s.mu.Unlock()
+	return Stats{
+		SessionsActive: active,
+		SessionsOpened: s.sessionsOpened.Load(),
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEvictions: cs.Evictions,
+		CacheEntries:   cs.Entries,
+		AnalysesBuilt:  built,
+		CyclesExecuted: s.cyclesExecuted.Load(),
+		Requests:       s.requests.Load(),
+		Panics:         s.panics.Load(),
+	}
+}

@@ -1,0 +1,284 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const testProg = `
+int main() {
+	int x = 10;
+	int y = x * 3;
+	print(y);
+	return y;
+}
+`
+
+func intp(n int) *int { return &n }
+
+func mustOK(t *testing.T, s *Server, req *Request) *Response {
+	t.Helper()
+	resp := s.Handle(req)
+	if !resp.OK {
+		t.Fatalf("%s failed: %+v", req.Cmd, resp.Error)
+	}
+	return resp
+}
+
+func compileAndOpen(t *testing.T, s *Server, name, src string) (artifact, session string) {
+	t.Helper()
+	c := mustOK(t, s, &Request{Cmd: "compile", Name: name, Src: src})
+	o := mustOK(t, s, &Request{Cmd: "open-session", Artifact: c.Artifact})
+	return c.Artifact, o.Session
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := New(Options{})
+	art, sess := compileAndOpen(t, s, "t.mc", testProg)
+	if art == "" || sess == "" {
+		t.Fatal("missing artifact/session ids")
+	}
+
+	b := mustOK(t, s, &Request{Cmd: "break", Session: sess, Func: "main", Stmt: intp(1)})
+	if b.Stop == nil || b.Stop.Func != "main" || b.Stop.Stmt != 1 {
+		t.Fatalf("break stop = %+v", b.Stop)
+	}
+	c := mustOK(t, s, &Request{Cmd: "continue", Session: sess})
+	if c.Stop == nil || c.Exited {
+		t.Fatalf("continue = %+v", c)
+	}
+	p := mustOK(t, s, &Request{Cmd: "print", Session: sess, Var: "x"})
+	if len(p.Vars) != 1 || p.Vars[0].Name != "x" || p.Vars[0].State == "" {
+		t.Fatalf("print x = %+v", p.Vars)
+	}
+	// At O2 the assignment is optimized away but recovery still reports
+	// the expected value; either way the display leads with it.
+	if !strings.HasPrefix(p.Vars[0].Display, "x = 10") {
+		t.Fatalf("display = %q", p.Vars[0].Display)
+	}
+	in := mustOK(t, s, &Request{Cmd: "info", Session: sess})
+	if len(in.Vars) < 2 {
+		t.Fatalf("info returned %d vars", len(in.Vars))
+	}
+	st := mustOK(t, s, &Request{Cmd: "step", Session: sess})
+	if st.Stop == nil && !st.Exited {
+		t.Fatalf("step = %+v", st)
+	}
+	fin := mustOK(t, s, &Request{Cmd: "continue", Session: sess})
+	if !fin.Exited || !strings.Contains(fin.Output, "30") {
+		t.Fatalf("final continue = %+v", fin)
+	}
+	mustOK(t, s, &Request{Cmd: "close", Session: sess})
+	if got := s.Snapshot().SessionsActive; got != 0 {
+		t.Fatalf("sessions_active = %d after close", got)
+	}
+}
+
+func TestErrorCodes(t *testing.T) {
+	s := New(Options{MaxSessions: 1, StepBudget: 25})
+	_, sess := compileAndOpen(t, s, "t.mc", testProg)
+
+	cases := []struct {
+		req  *Request
+		code string
+	}{
+		{&Request{Cmd: "nope"}, CodeBadRequest},
+		{&Request{Cmd: "compile"}, CodeBadRequest},
+		{&Request{Cmd: "compile", Src: "int main( {", Name: "x.mc"}, CodeCompileError},
+		{&Request{Cmd: "compile", Workload: "nosuchworkload"}, CodeBadRequest},
+		{&Request{Cmd: "open-session", Artifact: "bogus"}, CodeNoSuchArtifact},
+		{&Request{Cmd: "continue", Session: "bogus"}, CodeNoSuchSession},
+		{&Request{Cmd: "break", Session: sess}, CodeBadRequest},
+		{&Request{Cmd: "break", Session: sess, Line: 999}, CodeNoSuchLine},
+		{&Request{Cmd: "break", Session: sess, Func: "nope", Stmt: intp(0)}, CodeNoSuchFunc},
+		{&Request{Cmd: "break", Session: sess, Func: "main", Stmt: intp(999)}, CodeNoStmtLoc},
+		{&Request{Cmd: "print", Session: sess, Var: "x"}, CodeNotStopped},
+		{&Request{Cmd: "info", Session: sess}, CodeNotStopped},
+	}
+	for _, tc := range cases {
+		resp := s.Handle(tc.req)
+		if resp.OK || resp.Error == nil || resp.Error.Code != tc.code {
+			t.Errorf("%+v -> %+v, want code %s", tc.req, resp.Error, tc.code)
+		}
+	}
+
+	// Session limit: the one open session occupies the only slot.
+	c := mustOK(t, s, &Request{Cmd: "compile", Name: "t.mc", Src: testProg})
+	if resp := s.Handle(&Request{Cmd: "open-session", Artifact: c.Artifact}); resp.OK || resp.Error.Code != CodeSessionLimit {
+		t.Fatalf("open beyond limit = %+v", resp.Error)
+	}
+}
+
+func TestStepBudgetCode(t *testing.T) {
+	s := New(Options{StepBudget: 50})
+	_, sess := compileAndOpen(t, s, "loop.mc", `
+int main() {
+	int i;
+	int acc = 0;
+	for (i = 0; i < 100000; i++) { acc += i; }
+	return acc;
+}
+`)
+	resp := s.Handle(&Request{Cmd: "continue", Session: sess})
+	if resp.OK || resp.Error == nil || resp.Error.Code != CodeBudget {
+		t.Fatalf("continue under 50-step budget = %+v, want %s", resp.Error, CodeBudget)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s := New(Options{})
+	_, sess := compileAndOpen(t, s, "t.mc", testProg)
+	// Corrupt the session so the next command panics inside the handler;
+	// the server must answer with an internal error, not crash.
+	s.mu.Lock()
+	s.sessions[sess].dbg = nil
+	s.mu.Unlock()
+	resp := s.Handle(&Request{Cmd: "continue", Session: sess})
+	if resp.OK || resp.Error == nil || resp.Error.Code != CodeInternal {
+		t.Fatalf("panic not mapped to internal error: %+v", resp.Error)
+	}
+	if got := s.Snapshot().Panics; got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+	// The server keeps serving.
+	if resp := s.Handle(&Request{Cmd: "stats"}); !resp.OK {
+		t.Fatal("server dead after panic")
+	}
+}
+
+func TestCompileCacheSharedAcrossSessions(t *testing.T) {
+	s := New(Options{})
+	c1 := mustOK(t, s, &Request{Cmd: "compile", Name: "t.mc", Src: testProg})
+	if c1.Cached {
+		t.Fatal("first compile claims cached")
+	}
+	c2 := mustOK(t, s, &Request{Cmd: "compile", Name: "t.mc", Src: testProg})
+	if !c2.Cached || c2.Artifact != c1.Artifact {
+		t.Fatalf("second compile = %+v, want cache hit on %s", c2, c1.Artifact)
+	}
+	st := s.Snapshot()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("cache counters = %+v", st)
+	}
+	// Same source, different config: a distinct artifact.
+	off := false
+	c3 := mustOK(t, s, &Request{Cmd: "compile", Name: "t.mc", Src: testProg,
+		Config: &ConfigSpec{Opt: "O2", RegAlloc: &off}})
+	if c3.Cached || c3.Artifact == c1.Artifact {
+		t.Fatalf("config change did not produce a new artifact: %+v", c3)
+	}
+}
+
+// TestConcurrentSessionStress drives >= 8 concurrent sessions over bench
+// workloads: every session compiles (coalescing through the artifact
+// cache), opens, sets breakpoints, and alternates continue/info/print for
+// a bounded number of stops. Run under -race this exercises the shared
+// cache, the shared AnalysisSet, and the session table.
+func TestConcurrentSessionStress(t *testing.T) {
+	const perWorkload = 4
+	workloads := []string{"compress", "ear"}
+	s := New(Options{MaxSessions: 2 * perWorkload * len(workloads)})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, perWorkload*len(workloads))
+	for _, w := range workloads {
+		for i := 0; i < perWorkload; i++ {
+			wg.Add(1)
+			go func(w string, i int) {
+				defer wg.Done()
+				errs <- driveSession(s, w, i)
+			}(w, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := s.Snapshot()
+	if st.CacheMisses != int64(len(workloads)) {
+		t.Errorf("cache misses = %d, want %d (one compile per workload)", st.CacheMisses, len(workloads))
+	}
+	if want := int64(perWorkload*len(workloads) - len(workloads)); st.CacheHits != want {
+		t.Errorf("cache hits = %d, want %d", st.CacheHits, want)
+	}
+	if st.SessionsOpened != int64(perWorkload*len(workloads)) {
+		t.Errorf("sessions_opened = %d, want %d", st.SessionsOpened, perWorkload*len(workloads))
+	}
+	if st.SessionsActive != 0 {
+		t.Errorf("sessions_active = %d after all closed", st.SessionsActive)
+	}
+	if st.CyclesExecuted <= 0 {
+		t.Error("cycles_executed not accounted")
+	}
+	// Analyses are shared per artifact: the total built must not scale
+	// with the number of sessions.
+	var funcs int64
+	s.mu.Lock()
+	for _, a := range s.artifacts {
+		funcs += int64(len(a.Res.Mach.Funcs))
+	}
+	s.mu.Unlock()
+	if st.AnalysesBuilt != funcs {
+		t.Errorf("analyses_built = %d, want %d (one per function per artifact)", st.AnalysesBuilt, funcs)
+	}
+}
+
+// driveSession runs one scripted session over workload w via the public
+// Handle surface, returning the first protocol failure.
+func driveSession(s *Server, w string, seed int) error {
+	c := s.Handle(&Request{Cmd: "compile", Workload: w})
+	if !c.OK {
+		return fmt.Errorf("%s: compile: %+v", w, c.Error)
+	}
+	o := s.Handle(&Request{Cmd: "open-session", Artifact: c.Artifact})
+	if !o.OK {
+		return fmt.Errorf("%s: open: %+v", w, o.Error)
+	}
+	sess := o.Session
+	// Find a breakable statement in main (IDs differ per workload).
+	var armed bool
+	for stmt := seed % 3; stmt < 20 && !armed; stmt++ {
+		b := s.Handle(&Request{Cmd: "break", Session: sess, Func: "main", Stmt: intp(stmt)})
+		if b.OK {
+			armed = true
+		}
+	}
+	if !armed {
+		return fmt.Errorf("%s: no breakable statement in main", w)
+	}
+	for hit := 0; hit < 3; hit++ {
+		r := s.Handle(&Request{Cmd: "continue", Session: sess})
+		if !r.OK {
+			return fmt.Errorf("%s: continue: %+v", w, r.Error)
+		}
+		if r.Exited {
+			break
+		}
+		in := s.Handle(&Request{Cmd: "info", Session: sess})
+		if !in.OK {
+			return fmt.Errorf("%s: info: %+v", w, in.Error)
+		}
+		if len(in.Vars) > 0 {
+			p := s.Handle(&Request{Cmd: "print", Session: sess, Var: in.Vars[0].Name})
+			if !p.OK {
+				return fmt.Errorf("%s: print %s: %+v", w, in.Vars[0].Name, p.Error)
+			}
+		}
+		if st := s.Handle(&Request{Cmd: "step", Session: sess}); !st.OK {
+			return fmt.Errorf("%s: step: %+v", w, st.Error)
+		}
+		if s.Handle(&Request{Cmd: "where", Session: sess}).OK == false {
+			return fmt.Errorf("%s: where failed", w)
+		}
+	}
+	if cl := s.Handle(&Request{Cmd: "close", Session: sess}); !cl.OK {
+		return fmt.Errorf("%s: close: %+v", w, cl.Error)
+	}
+	return nil
+}

@@ -7,12 +7,17 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/mach"
 )
+
+// ErrStepLimit is returned (wrapped) when execution exhausts MaxSteps —
+// the per-session execution budget of the debug-session server.
+var ErrStepLimit = errors.New("vm: step limit exceeded")
 
 // Val is one runtime value (integer word or float).
 type Val struct {
@@ -249,7 +254,7 @@ func (vm *VM) Step() error {
 	}
 	vm.Steps++
 	if vm.Steps > vm.MaxSteps {
-		return fmt.Errorf("vm: step limit exceeded in %s", fr.Fn.Name)
+		return fmt.Errorf("%w in %s", ErrStepLimit, fr.Fn.Name)
 	}
 	if fr.idx >= len(fr.block.Instrs) {
 		// Fell off an unterminated block: treat as void return.

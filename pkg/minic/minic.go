@@ -1,0 +1,267 @@
+// Package minic is the public API of the MiniC optimizing compiler and
+// the paper's source-level debugger for optimized code (Adl-Tabatabai &
+// Gross, PLDI 1996). It wraps the internal pipeline behind a small,
+// stable surface:
+//
+//	art, err := minic.Compile("prog.mc", src)          // full -O2 pipeline
+//	sess, err := minic.NewSession(art)                 // a debug session
+//	bp, err := sess.BreakAtLine(12)
+//	sess.Continue()
+//	r, err := sess.Print("x")                          // value + classification
+//	fmt.Println(r.Display())                           // warning-annotated
+//
+// Compilation is configured with functional options (OptLevel, RegAlloc,
+// Sched, Markers, Passes) instead of a bare config struct, and repeated
+// compiles can share a concurrency-safe artifact Cache. An Artifact and
+// its analyses are immutable, so any number of Sessions — including
+// concurrent ones — may share one Artifact.
+package minic
+
+import (
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/debugger"
+	"repro/internal/mach"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// Option configures Compile.
+type Option func(*settings)
+
+type settings struct {
+	cfg        compile.Config
+	cache      *Cache
+	precompute int // -1: off, 0: GOMAXPROCS, >0: bounded pool
+}
+
+// WithOptLevel selects the optimization level: 0 (none — this also turns
+// off register allocation and scheduling, like the command-line -O0), 1
+// (local optimizations) or 2 (the paper's full global pipeline, the
+// default).
+func WithOptLevel(n int) Option {
+	return func(s *settings) {
+		switch {
+		case n <= 0:
+			s.cfg.Opt = opt.O0()
+			s.cfg.RegAlloc = false
+			s.cfg.Sched = false
+		case n == 1:
+			s.cfg.Opt = opt.O1()
+		default:
+			s.cfg.Opt = opt.O2()
+		}
+	}
+}
+
+// WithRegAlloc turns graph-coloring register allocation on or off
+// (Figure 5(b) vs 5(a) of the paper).
+func WithRegAlloc(on bool) Option { return func(s *settings) { s.cfg.RegAlloc = on } }
+
+// WithSched turns instruction scheduling on or off.
+func WithSched(on bool) Option { return func(s *settings) { s.cfg.Sched = on } }
+
+// WithMarkers controls the §3 marker bookkeeping the classifier consumes;
+// passing false reproduces the paper's "no compiler support" ablation.
+func WithMarkers(on bool) Option { return func(s *settings) { s.cfg.Opt.NoMarkers = !on } }
+
+// WithPasses runs exactly the given optimization passes and switches
+// register allocation and scheduling off, which is the shape the paper's
+// figure walkthroughs use (e.g. PRE alone); re-enable them with
+// WithRegAlloc/WithSched after this option.
+func WithPasses(o opt.Options) Option {
+	return func(s *settings) {
+		s.cfg.Opt = o
+		s.cfg.RegAlloc = false
+		s.cfg.Sched = false
+	}
+}
+
+// WithCache compiles through c: identical (name, source, options)
+// requests are served from cache, and concurrent requests coalesce into
+// one pipeline run.
+func WithCache(c *Cache) Option { return func(s *settings) { s.cache = c } }
+
+// WithPrecomputedAnalyses builds the debugger's per-function data-flow
+// analyses eagerly with a bounded worker pool (workers <= 0 selects
+// GOMAXPROCS) instead of lazily at the first breakpoint.
+func WithPrecomputedAnalyses(workers int) Option {
+	return func(s *settings) {
+		if workers <= 0 {
+			workers = 0
+		}
+		s.precompute = workers
+	}
+}
+
+// Cache is a concurrency-safe compiled-artifact cache with LRU eviction;
+// see NewCache.
+type Cache = compile.Cache
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats = compile.CacheStats
+
+// NewCache returns an artifact cache bounded to max entries (max <= 0
+// means unbounded) for use with WithCache.
+func NewCache(max int) *Cache { return compile.NewCache(max) }
+
+// Artifact is one compiled program: every representation level produced
+// by the pipeline plus the (lazily built, concurrency-safe) per-function
+// debugger analyses. Artifacts are immutable and may back any number of
+// concurrent Sessions.
+type Artifact struct {
+	res      *compile.Result
+	analyses *core.AnalysisSet
+}
+
+// Compile runs the pipeline over MiniC source text. With no options it
+// compiles like the production compiler: -O2 with register allocation
+// and scheduling.
+func Compile(name, src string, opts ...Option) (*Artifact, error) {
+	s := settings{cfg: compile.Config{Opt: opt.O2(), RegAlloc: true, Sched: true}, precompute: -1}
+	for _, o := range opts {
+		o(&s)
+	}
+	var res *compile.Result
+	var err error
+	if s.cache != nil {
+		res, _, err = s.cache.Compile(name, src, s.cfg)
+	} else {
+		res, err = compile.Compile(name, src, s.cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{res: res, analyses: core.NewAnalysisSet()}
+	if s.precompute >= 0 {
+		a.analyses.Precompute(res.Mach, s.precompute)
+	}
+	return a, nil
+}
+
+// Result exposes the program at every level (source file, checked
+// program, optimized IR, machine code).
+func (a *Artifact) Result() *compile.Result { return a.res }
+
+// Funcs lists the compiled machine functions.
+func (a *Artifact) Funcs() []*mach.Func { return a.res.Mach.Funcs }
+
+// Func looks up one machine function by source name, or nil.
+func (a *Artifact) Func(name string) *mach.Func { return a.res.Mach.LookupFunc(name) }
+
+// Analysis returns the debugger's classification analysis for f, building
+// it on first use. The result is immutable and shared.
+func (a *Artifact) Analysis(f *mach.Func) *core.Analysis { return a.analyses.Of(f) }
+
+// Run executes the program on a fresh simulator to completion and
+// returns the machine for inspection (output, exit value, cycle count).
+func (a *Artifact) Run() (*vm.VM, error) {
+	m, err := vm.New(a.res.Mach)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Session is one source-level debug session on an Artifact: a private
+// simulator plus the shared classification analyses. A Session is not
+// itself safe for concurrent use, but distinct Sessions over one
+// Artifact are.
+type Session struct {
+	art *Artifact
+	dbg *debugger.Debugger
+}
+
+// NewSession starts a debug session at the entry of the program.
+func NewSession(a *Artifact) (*Session, error) {
+	dbg, err := debugger.NewShared(a.res, a.analyses)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{art: a, dbg: dbg}, nil
+}
+
+// Artifact returns the compiled program this session runs.
+func (s *Session) Artifact() *Artifact { return s.art }
+
+// Debugger exposes the underlying session driver for advanced use.
+func (s *Session) Debugger() *debugger.Debugger { return s.dbg }
+
+// BreakAtLine sets a breakpoint at the first statement on a source line.
+func (s *Session) BreakAtLine(line int) (*Breakpoint, error) { return s.dbg.BreakAtLine(line) }
+
+// BreakAtStmt sets a breakpoint at statement stmt of the named function.
+func (s *Session) BreakAtStmt(fn string, stmt int) (*Breakpoint, error) {
+	return s.dbg.BreakAtStmt(fn, stmt)
+}
+
+// Continue resumes until a breakpoint (returned) or exit (nil).
+func (s *Session) Continue() (*Breakpoint, error) { return s.dbg.Continue() }
+
+// Step advances to the next source statement.
+func (s *Session) Step() (*Breakpoint, error) { return s.dbg.Step() }
+
+// Print reports one variable at the current stop with its classification.
+func (s *Session) Print(name string) (*VarReport, error) { return s.dbg.Print(name) }
+
+// Info reports every variable in scope at the current stop.
+func (s *Session) Info() ([]*VarReport, error) { return s.dbg.Info() }
+
+// Stopped returns the current stop, or nil.
+func (s *Session) Stopped() *Breakpoint { return s.dbg.Stopped() }
+
+// Halted reports whether the program has exited.
+func (s *Session) Halted() bool { return s.dbg.Halted() }
+
+// Output returns everything the program printed so far.
+func (s *Session) Output() string { return s.dbg.Output() }
+
+// Re-exported stable types: the classification model of the paper and
+// the debugger's report/breakpoint shapes.
+type (
+	// Classification is the debugger's verdict on one variable at one
+	// breakpoint: its State, the responsible optimization, the
+	// human-readable reason, and an optional Recovery.
+	Classification = core.Classification
+	// State is one of Current, Uninitialized, Nonresident, Noncurrent,
+	// Suspect (Figure 1 of the paper).
+	State = core.State
+	// Cause names the optimization responsible for an endangerment.
+	Cause = core.Cause
+	// Recovery describes how an eliminated value can be reconstructed.
+	Recovery = core.Recovery
+	// VarReport is a classified variable with its runtime (and possibly
+	// recovered) value; Display renders it with the paper's warnings.
+	VarReport = debugger.VarReport
+	// Breakpoint is an armed or hit source breakpoint.
+	Breakpoint = debugger.Breakpoint
+)
+
+// Classification states (Figure 1 of the paper).
+const (
+	Current       = core.Current
+	Uninitialized = core.Uninitialized
+	Nonresident   = core.Nonresident
+	Noncurrent    = core.Noncurrent
+	Suspect       = core.Suspect
+)
+
+// Endangerment causes.
+const (
+	NoCause        = core.NoCause
+	ByHoisting     = core.ByHoisting
+	ByDeadCodeElim = core.ByDeadCodeElim
+	ByScheduling   = core.ByScheduling
+)
+
+// Typed session errors, for errors.Is.
+var (
+	ErrNoSuchLine = debugger.ErrNoSuchLine
+	ErrNoSuchFunc = debugger.ErrNoSuchFunc
+	ErrNoStmtLoc  = debugger.ErrNoStmtLoc
+	ErrNotStopped = debugger.ErrNotStopped
+	ErrNoSuchVar  = debugger.ErrNoSuchVar
+)

@@ -1,0 +1,90 @@
+package minic_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/pkg/minic"
+)
+
+const loopProg = `
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 10; i++) { s += i; }
+	print(s);
+	return s;
+}
+`
+
+func TestOptionsShapePipeline(t *testing.T) {
+	o0, err := minic.Compile("t.mc", loopProg, minic.WithOptLevel(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := minic.Compile("t.mc", loopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := o0.Func("main"); f.Allocated || f.Scheduled {
+		t.Fatal("O0 artifact went through regalloc/sched")
+	}
+	if f := o2.Func("main"); !f.Allocated || !f.Scheduled {
+		t.Fatal("default compile skipped regalloc/sched")
+	}
+	m0, err := o0.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := o2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Output() != m2.Output() {
+		t.Fatalf("optimization changed program output: %q vs %q", m0.Output(), m2.Output())
+	}
+	if m2.Cycles >= m0.Cycles {
+		t.Errorf("O2 (%d cycles) not faster than O0 (%d cycles)", m2.Cycles, m0.Cycles)
+	}
+	if f := o2.Func("main"); o2.Analysis(f) != o2.Analysis(f) {
+		t.Fatal("Analysis not shared within an artifact")
+	}
+}
+
+func TestConcurrentSessionsOnOneArtifact(t *testing.T) {
+	art, err := minic.Compile("t.mc", loopProg, minic.WithPrecomputedAnalyses(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := minic.NewSession(art)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := sess.BreakAtStmt("main", 2); err != nil {
+				t.Error(err)
+				return
+			}
+			for hits := 0; hits < 3; hits++ {
+				bp, err := sess.Continue()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if bp == nil {
+					return
+				}
+				if _, err := sess.Info(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,105 @@
+// Service-layer benchmarks: what the debug-session server buys under
+// repeated and concurrent load — cached vs. cold compiles, parallel vs.
+// serial analysis precompute, and whole scripted sessions through the
+// protocol loop.
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// BenchmarkCompileCold compiles the li workload through the pipeline
+// every iteration — the cost every mcdbg invocation used to pay.
+func BenchmarkCompileCold(b *testing.B) {
+	src := bench.MustSource("li")
+	for i := 0; i < b.N; i++ {
+		if _, err := compile.Compile("li.mc", src, compile.O2()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileCached serves the same workload from the artifact
+// cache after one cold compile.
+func BenchmarkCompileCached(b *testing.B) {
+	src := bench.MustSource("li")
+	c := compile.NewCache(8)
+	if _, _, err := c.Compile("li.mc", src, compile.O2()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := c.Compile("li.mc", src, compile.O2()); err != nil || !hit {
+			b.Fatalf("hit=%v err=%v", hit, err)
+		}
+	}
+	st := c.Stats()
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+}
+
+// BenchmarkAnalyzeProgram measures precomputing every function's core
+// analyses, serial vs. bounded worker pool.
+func BenchmarkAnalyzeProgram(b *testing.B) {
+	res, err := bench.CompileWorkload("gcc", compile.O2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.NewAnalysisSet().Precompute(res.Mach, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkServerSession runs a full scripted session (compile from
+// cache, open, break, three stops with info, close) per iteration, with
+// parallelism: the server's intended steady-state load shape.
+func BenchmarkServerSession(b *testing.B) {
+	s := server.New(server.Options{})
+	warm := s.Handle(&server.Request{Cmd: "compile", Workload: "compress"})
+	if !warm.OK {
+		b.Fatalf("compile: %+v", warm.Error)
+	}
+	stmt := 6
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c := s.Handle(&server.Request{Cmd: "compile", Workload: "compress"})
+			o := s.Handle(&server.Request{Cmd: "open-session", Artifact: c.Artifact})
+			if !o.OK {
+				b.Fatalf("open: %+v", o.Error)
+			}
+			sess := o.Session
+			if r := s.Handle(&server.Request{Cmd: "break", Session: sess, Func: "compress", Stmt: &stmt}); !r.OK {
+				b.Fatalf("break: %+v", r.Error)
+			}
+			for hit := 0; hit < 3; hit++ {
+				r := s.Handle(&server.Request{Cmd: "continue", Session: sess})
+				if !r.OK {
+					b.Fatalf("continue: %+v", r.Error)
+				}
+				if r.Exited {
+					break
+				}
+				if r := s.Handle(&server.Request{Cmd: "info", Session: sess}); !r.OK {
+					b.Fatalf("info: %+v", r.Error)
+				}
+			}
+			if r := s.Handle(&server.Request{Cmd: "close", Session: sess}); !r.OK {
+				b.Fatalf("close: %+v", r.Error)
+			}
+		}
+	})
+	st := s.Snapshot()
+	b.ReportMetric(float64(st.CacheHits), "cache-hits")
+	b.ReportMetric(float64(st.CyclesExecuted), "vm-cycles")
+}
