@@ -11,6 +11,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/mach"
 )
 
 // BenchmarkTable2_ProgramStats regenerates Table 2 (program sizes,
@@ -135,6 +137,104 @@ func BenchmarkClassifierOnly(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(classified), "classifications")
+}
+
+// BenchmarkClassifyAllHot measures the classifier's steady-state query
+// cost: the analyses are solved once (as the debug service does after a
+// compile) and then every statement of every Table 2 workload function is
+// classified repeatedly — the workload shape of harness-style clients
+// that issue thousands of classify-all queries per binary.
+func BenchmarkClassifyAllHot(b *testing.B) {
+	cfg := compile.O2NoRegAlloc()
+	cfg.RegAlloc = true
+	type fnA struct {
+		a     *core.Analysis
+		stmts int
+	}
+	var fns []fnA
+	for _, name := range bench.Names {
+		res, err := bench.CompileWorkload(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range res.Mach.Funcs {
+			fns = append(fns, fnA{a: core.Analyze(f), stmts: f.Decl.NumStmts})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	classified := 0
+	for i := 0; i < b.N; i++ {
+		classified = 0
+		for _, fa := range fns {
+			for s := 0; s < fa.stmts; s++ {
+				cs, ok := fa.a.ClassifyAllAt(s)
+				if !ok {
+					continue
+				}
+				classified += len(cs)
+			}
+		}
+	}
+	b.ReportMetric(float64(classified), "classifications")
+}
+
+// BenchmarkSolverRPO measures the data-flow solver alone on the CFGs of a
+// real workload (gcc), with deterministic synthetic gen/kill sets, in both
+// the may and must variants — the cost every solver client (PRE, constant
+// folding, liveness, the classifier) pays per function.
+func BenchmarkSolverRPO(b *testing.B) {
+	res, err := bench.CompileWorkload("gcc", compile.O2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const bits = 256
+	type prob struct {
+		graph     dataflow.Graph
+		gen, kill []*dataflow.BitSet
+	}
+	var probs []prob
+	for _, f := range res.Mach.Funcs {
+		idx := map[*mach.Block]int{}
+		for i, blk := range f.Blocks {
+			idx[blk] = i
+		}
+		n := len(f.Blocks)
+		g := dataflow.Graph{N: n, Succs: make([][]int, n), Preds: make([][]int, n)}
+		for i, blk := range f.Blocks {
+			for _, s := range blk.Succs {
+				si := idx[s]
+				g.Succs[i] = append(g.Succs[i], si)
+				g.Preds[si] = append(g.Preds[si], i)
+			}
+		}
+		p := prob{graph: g, gen: make([]*dataflow.BitSet, n), kill: make([]*dataflow.BitSet, n)}
+		rnd := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < n; i++ {
+			p.gen[i] = dataflow.NewBitSet(bits)
+			p.kill[i] = dataflow.NewBitSet(bits)
+			for j := 0; j < bits; j++ {
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				switch rnd >> 62 {
+				case 0:
+					p.gen[i].Set(j)
+				case 1:
+					p.kill[i].Set(j)
+				}
+			}
+		}
+		probs = append(probs, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range probs {
+			(&dataflow.Problem{Graph: p.graph, Dir: dataflow.Forward, Meet: dataflow.Union,
+				Bits: bits, Gen: p.gen, Kill: p.kill}).Solve()
+			(&dataflow.Problem{Graph: p.graph, Dir: dataflow.Forward, Meet: dataflow.Intersect,
+				Bits: bits, Gen: p.gen, Kill: p.kill}).Solve()
+		}
+	}
 }
 
 // BenchmarkCompileWorkloads measures full-pipeline compilation throughput.

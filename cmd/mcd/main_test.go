@@ -160,6 +160,120 @@ func mcdbgDisplays(t *testing.T) map[string]string {
 	return out
 }
 
+// TestBatchMatchesSerial is the batch golden test: the same break →
+// continue → print → info conversation driven once as four serial
+// request lines and once as a single batch request over two sessions on
+// the same artifact must produce byte-identical per-command response
+// JSON — displays, warnings, stops and all.
+func TestBatchMatchesSerial(t *testing.T) {
+	s := server.New(server.Options{})
+	stmt := 1
+	resps := runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "compile", Name: "fig3.mc", Src: prog},
+	})
+	art := resps[0].Artifact
+	if art == "" {
+		t.Fatalf("compile = %+v", resps[0])
+	}
+	resps = runTranscript(t, s, []server.Request{
+		{ID: 2, Cmd: "open-session", Artifact: art},
+		{ID: 3, Cmd: "open-session", Artifact: art},
+	})
+	serialSess, batchSess := resps[0].Session, resps[1].Session
+	if serialSess == "" || batchSess == "" {
+		t.Fatalf("open-session = %+v", resps)
+	}
+
+	script := func(sess string) []server.Request {
+		return []server.Request{
+			{ID: 10, Cmd: "break", Session: sess, Func: "g", Stmt: &stmt},
+			{ID: 11, Cmd: "continue", Session: sess},
+			{ID: 12, Cmd: "print", Session: sess, Var: "x"},
+			{ID: 13, Cmd: "info", Session: sess},
+		}
+	}
+	serial := runTranscript(t, s, script(serialSess))
+	batched := runTranscript(t, s, []server.Request{
+		{ID: 20, Cmd: "batch", Reqs: script(batchSess)},
+	})
+	if len(batched) != 1 || !batched[0].OK {
+		t.Fatalf("batch = %+v", batched)
+	}
+	results := batched[0].Results
+	if len(serial) != len(results) {
+		t.Fatalf("serial answered %d, batch answered %d", len(serial), len(results))
+	}
+	for i := range serial {
+		sj, err := json.Marshal(&serial[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(&results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sj) != string(bj) {
+			t.Errorf("sub-command %d differs:\nserial:  %s\nbatched: %s", i, sj, bj)
+		}
+	}
+}
+
+// TestBatchErrorIsolation checks that one failing sub-command answers
+// with its own error in its slot while the rest of the batch — before
+// and after it — succeeds, and the batch response itself is ok.
+func TestBatchErrorIsolation(t *testing.T) {
+	s := server.New(server.Options{})
+	resps := runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "compile", Name: "fig3.mc", Src: prog},
+	})
+	art := resps[0].Artifact
+	resps = runTranscript(t, s, []server.Request{{ID: 2, Cmd: "open-session", Artifact: art}})
+	sess := resps[0].Session
+
+	stmt := 1
+	resps = runTranscript(t, s, []server.Request{
+		{ID: 3, Cmd: "batch", Reqs: []server.Request{
+			{ID: 30, Cmd: "break", Session: sess, Func: "g", Stmt: &stmt},
+			{ID: 31, Cmd: "print", Session: sess, Var: "x"}, // not stopped yet
+			{ID: 32, Cmd: "frobnicate"},                     // unknown command
+			{ID: 33, Cmd: "batch"},                          // nesting rejected
+			{ID: 34, Cmd: "continue", Session: sess},
+			{ID: 35, Cmd: "info", Session: sess},
+		}},
+	})
+	if len(resps) != 1 || !resps[0].OK {
+		t.Fatalf("batch = %+v", resps)
+	}
+	r := resps[0].Results
+	if len(r) != 6 {
+		t.Fatalf("got %d results", len(r))
+	}
+	if !r[0].OK || r[0].Stop == nil {
+		t.Errorf("break should succeed: %+v", r[0])
+	}
+	if r[1].OK || r[1].Error == nil || r[1].Error.Code != server.CodeNotStopped {
+		t.Errorf("print before stop = %+v, want %s", r[1].Error, server.CodeNotStopped)
+	}
+	if r[2].OK || r[2].Error == nil || r[2].Error.Code != server.CodeBadRequest {
+		t.Errorf("unknown command = %+v, want %s", r[2].Error, server.CodeBadRequest)
+	}
+	if r[3].OK || r[3].Error == nil || r[3].Error.Code != server.CodeBadRequest {
+		t.Errorf("nested batch = %+v, want %s", r[3].Error, server.CodeBadRequest)
+	}
+	if !r[4].OK || r[4].Stop == nil {
+		t.Errorf("continue after failed sub-commands should still hit the breakpoint: %+v", r[4])
+	}
+	if !r[5].OK || len(r[5].Vars) == 0 {
+		t.Errorf("info should succeed after the batch's earlier errors: %+v", r[5])
+	}
+	// Sub-command IDs must be echoed so clients can correlate.
+	for i, want := range []int64{30, 31, 32, 33, 34, 35} {
+		if r[i].ID != want {
+			t.Errorf("result %d echoed id %d, want %d", i, r[i].ID, want)
+		}
+	}
+}
+
 // TestMalformedLine checks the bad-request path of the wire loop.
 func TestMalformedLine(t *testing.T) {
 	s := server.New(server.Options{})

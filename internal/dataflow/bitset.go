@@ -3,6 +3,24 @@
 // worklist solver for forward/backward may/must problems, dominator and
 // postdominator trees, and natural-loop detection.
 //
+// The solver visits blocks in reverse postorder of the direction the facts
+// propagate — RPO of the CFG for forward problems, RPO of the reversed CFG
+// (postorder) for backward problems — so that on reducible control flow
+// each fact crosses every acyclic path in one sweep and only loops force
+// re-visits. The worklist is an in-worklist bitmap over that fixed order:
+// a block re-enters the list only when a block feeding its meet changed.
+// Termination is the standard monotone-framework argument: gen/kill
+// transfer functions and union/intersection meets are monotone on the
+// finite powerset lattice of Problem.Bits bits, every in/out set moves in
+// one direction only (up from ⊥ for may problems, down from ⊤ for must
+// problems), and a block is re-queued only after an actual change — so at
+// most Bits changes per set, giving O(Bits · N · E) bit-operations in the
+// worst case and, in practice, loop-nesting-depth + 2 sweeps. Solve and
+// the dense reference schedule SolveReference compute the same unique
+// fixed point (chaotic iteration of a monotone system converges to the
+// same limit regardless of a fair visit order), which the differential
+// tests in dataflow_test.go and internal/randprog exercise.
+//
 // The debugger-side analyses of the paper (hoist reach, dead reach) are
 // instances of the same framework — that is one of the paper's central
 // arguments: "the data-flow analysis required to support the debugger is
@@ -24,8 +42,17 @@ type BitSet struct {
 
 // NewBitSet makes an empty set with capacity for n bits.
 func NewBitSet(n int) *BitSet {
-	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
+	return &BitSet{words: make([]uint64, wordsFor(n)), n: n}
 }
+
+// wordsFor returns the number of 64-bit words backing an n-bit set.
+func wordsFor(n int) int { return (n + 63) / 64 }
+
+// bitSetOver wraps an existing word slice as an n-bit set, so callers
+// that build many same-sized sets (the solver, the classifier's
+// per-breakpoint tables) can carve them out of one allocation. The slice
+// must hold wordsFor(n) words; its current contents become the set.
+func bitSetOver(words []uint64, n int) *BitSet { return &BitSet{words: words, n: n} }
 
 // Len returns the set's capacity in bits.
 func (s *BitSet) Len() int { return s.n }

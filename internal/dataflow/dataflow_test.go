@@ -385,6 +385,76 @@ func reachable(g Graph, target int) bool {
 	return seen[target]
 }
 
+// resultsEqual compares two solver results block by block.
+func resultsEqual(a, b *Result) bool {
+	if len(a.In) != len(b.In) {
+		return false
+	}
+	for i := range a.In {
+		if !a.In[i].Equal(b.In[i]) || !a.Out[i].Equal(b.Out[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: the RPO worklist solver computes exactly the fixed point of
+// the dense reference schedule, for every direction × meet combination,
+// with and without a boundary value, on random (possibly irreducible,
+// possibly partially unreachable) graphs.
+func TestQuickSolverMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(10, seed)
+		const bits = 130 // spans three words
+		gen := make([]*BitSet, g.N)
+		kill := make([]*BitSet, g.N)
+		for i := 0; i < g.N; i++ {
+			gen[i] = randomSet(bits, r.Int63())
+			kill[i] = randomSet(bits, r.Int63())
+			kill[i].Subtract(gen[i])
+		}
+		var boundaries []*BitSet
+		boundaries = append(boundaries, nil, randomSet(bits, r.Int63()))
+		for _, dir := range []Direction{Forward, Backward} {
+			for _, meet := range []Meet{Union, Intersect} {
+				for _, bd := range boundaries {
+					p := &Problem{Graph: g, Dir: dir, Meet: meet, Bits: bits,
+						Gen: gen, Kill: kill, Boundary: bd}
+					if !resultsEqual(p.Solve(), p.SolveReference()) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolverUnreachableBlocks pins the contract for blocks no entry
+// reaches: they still get their local (boundary-independent) solution,
+// identically under both schedules.
+func TestSolverUnreachableBlocks(t *testing.T) {
+	// 0 -> 1; island 2 -> 3 unreachable from the entry.
+	g := Graph{N: 4,
+		Succs: [][]int{{1}, {}, {3}, {}},
+		Preds: [][]int{{}, {0}, {}, {2}},
+	}
+	gen := []*BitSet{NewBitSet(2), NewBitSet(2), NewBitSet(2), NewBitSet(2)}
+	gen[2].Set(1)
+	p := &Problem{Graph: g, Dir: Forward, Meet: Union, Bits: 2, Gen: gen, Entries: []int{0}}
+	got, want := p.Solve(), p.SolveReference()
+	if !resultsEqual(got, want) {
+		t.Fatalf("worklist and reference disagree on unreachable blocks")
+	}
+	if !got.In[3].Has(1) {
+		t.Errorf("fact should flow within the unreachable island: in[3] = %v", got.In[3])
+	}
+}
+
 // TestSolverBackwardLiveness solves a tiny backward problem.
 func TestSolverBackwardLiveness(t *testing.T) {
 	// 0 -> 1 -> 2. use of x (bit0) in block2; def (kill) in block1.

@@ -24,6 +24,9 @@ type Table struct {
 	stmtLoc []Loc
 	// NumStmts mirrors the frontend's statement count.
 	NumStmts int
+	// varsAt[s] caches the locals in scope at statement s; the slices are
+	// shared across queries and must not be modified by callers.
+	varsAt [][]*ast.Object
 }
 
 // Build computes the statement table for f.
@@ -61,6 +64,14 @@ func Build(f *mach.Func) *Table {
 			}
 		}
 	}
+	t.varsAt = make([][]*ast.Object, t.NumStmts)
+	for s := 0; s < t.NumStmts; s++ {
+		for _, v := range f.Decl.Locals {
+			if InScope(v, s) {
+				t.varsAt[s] = append(t.varsAt[s], v)
+			}
+		}
+	}
 	return t
 }
 
@@ -86,8 +97,13 @@ func InScope(v *ast.Object, s int) bool {
 	return s >= v.ScopeStart && s < v.ScopeEnd
 }
 
-// VarsInScope returns the function's locals (and parameters) in scope at s.
+// VarsInScope returns the function's locals (and parameters) in scope at
+// s. The returned slice is cached per statement and shared across calls:
+// callers must not modify it.
 func (t *Table) VarsInScope(s int) []*ast.Object {
+	if s >= 0 && s < len(t.varsAt) {
+		return t.varsAt[s]
+	}
 	var out []*ast.Object
 	for _, v := range t.Fn.Decl.Locals {
 		if InScope(v, s) {

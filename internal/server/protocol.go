@@ -17,6 +17,14 @@
 //	where        {session}                          -> {stop}
 //	close        {session}                          -> {}
 //	stats        {}                                 -> {stats}
+//	batch        {reqs: [...]}                      -> {results: [...]}
+//
+// batch carries up to MaxBatch sub-commands (any of the above except a
+// nested batch) over any number of sessions and answers them in order in
+// one response line, so harness-style clients issuing thousands of
+// breakpoint/classification queries amortize round-trips. Sub-command
+// errors are isolated: each result carries its own ok/error, and the
+// batch itself still succeeds.
 package server
 
 // Request is one protocol command (one JSON object per line).
@@ -39,7 +47,13 @@ type Request struct {
 	Stmt    *int   `json:"stmt,omitempty"`
 	Line    int    `json:"line,omitempty"`
 	Var     string `json:"var,omitempty"`
+
+	// batch
+	Reqs []Request `json:"reqs,omitempty"`
 }
+
+// MaxBatch caps the number of sub-commands one batch request may carry.
+const MaxBatch = 1024
 
 // ConfigSpec selects the pipeline configuration over the wire. The zero
 // value (or a nil *ConfigSpec) means full optimization: O2 with register
@@ -74,6 +88,10 @@ type Response struct {
 
 	// stats
 	Stats *Stats `json:"stats,omitempty"`
+
+	// batch: one result per sub-command, in request order, each with its
+	// own ok/error.
+	Results []Response `json:"results,omitempty"`
 }
 
 // StopInfo describes where a session is stopped.

@@ -169,9 +169,36 @@ func (s *Server) Handle(req *Request) (resp *Response) {
 	case "stats":
 		st := s.Snapshot()
 		return &Response{ID: req.ID, OK: true, Stats: &st}
+	case "batch":
+		return s.handleBatch(req)
 	default:
 		return errResp(req.ID, CodeBadRequest, fmt.Sprintf("unknown command %q", req.Cmd))
 	}
+}
+
+// handleBatch answers every sub-command in order and returns the results
+// in one response. Each sub-command goes through Handle, so it gets its
+// own panic recovery and error mapping: one failing sub-command yields an
+// error result in its slot without failing the batch. Nested batches are
+// rejected per slot.
+func (s *Server) handleBatch(req *Request) *Response {
+	if len(req.Reqs) == 0 {
+		return errResp(req.ID, CodeBadRequest, "batch needs a non-empty reqs array")
+	}
+	if len(req.Reqs) > MaxBatch {
+		return errResp(req.ID, CodeBadRequest,
+			fmt.Sprintf("batch of %d sub-commands exceeds the limit of %d", len(req.Reqs), MaxBatch))
+	}
+	results := make([]Response, 0, len(req.Reqs))
+	for i := range req.Reqs {
+		sub := &req.Reqs[i]
+		if sub.Cmd == "batch" {
+			results = append(results, *errResp(sub.ID, CodeBadRequest, "batch cannot be nested"))
+			continue
+		}
+		results = append(results, *s.Handle(sub))
+	}
+	return &Response{ID: req.ID, OK: true, Results: results}
 }
 
 // configOf resolves a wire ConfigSpec to a pipeline Config.

@@ -18,6 +18,8 @@
 package minic
 
 import (
+	"fmt"
+
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/debugger"
@@ -152,6 +154,36 @@ func (a *Artifact) Func(name string) *mach.Func { return a.res.Mach.LookupFunc(n
 // Analysis returns the debugger's classification analysis for f, building
 // it on first use. The result is immutable and shared.
 func (a *Artifact) Analysis(f *mach.Func) *core.Analysis { return a.analyses.Of(f) }
+
+// StmtClassifications is the classification of every in-scope variable
+// at one breakpoint (statement).
+type StmtClassifications struct {
+	Stmt    int
+	Classes []Classification
+}
+
+// ClassifyFunc classifies every in-scope variable at every breakpoint of
+// the named function in one sweep — the workload of coverage-metric
+// harnesses that interrogate a whole binary. The analysis is solved once
+// and each statement's classifications come from its precomputed
+// per-breakpoint tables, so repeated sweeps cost only the reported
+// classifications.
+func (a *Artifact) ClassifyFunc(name string) ([]StmtClassifications, error) {
+	f := a.res.Mach.LookupFunc(name)
+	if f == nil {
+		return nil, fmt.Errorf("minic: %w: %q", ErrNoSuchFunc, name)
+	}
+	an := a.analyses.Of(f)
+	out := make([]StmtClassifications, 0, f.Decl.NumStmts)
+	for s := 0; s < f.Decl.NumStmts; s++ {
+		cs, ok := an.ClassifyAllAt(s)
+		if !ok {
+			continue
+		}
+		out = append(out, StmtClassifications{Stmt: s, Classes: cs})
+	}
+	return out, nil
+}
 
 // Run executes the program on a fresh simulator to completion and
 // returns the machine for inspection (output, exit value, cycle count).

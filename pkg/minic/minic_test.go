@@ -51,6 +51,43 @@ func TestOptionsShapePipeline(t *testing.T) {
 	}
 }
 
+func TestClassifyFunc(t *testing.T) {
+	art, err := minic.Compile("t.mc", loopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := art.ClassifyFunc("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) == 0 {
+		t.Fatal("ClassifyFunc returned no statements")
+	}
+	f := art.Func("main")
+	an := art.Analysis(f)
+	for _, sc := range sweep {
+		if len(sc.Classes) == 0 {
+			t.Errorf("stmt %d: no classifications", sc.Stmt)
+		}
+		want, ok := an.ClassifyAllAt(sc.Stmt)
+		if !ok {
+			t.Fatalf("stmt %d in sweep but not classifiable directly", sc.Stmt)
+		}
+		if len(want) != len(sc.Classes) {
+			t.Fatalf("stmt %d: sweep has %d classes, direct query %d", sc.Stmt, len(sc.Classes), len(want))
+		}
+		for i := range want {
+			if sc.Classes[i].State != want[i].State || sc.Classes[i].Why != want[i].Why {
+				t.Errorf("stmt %d class %d: sweep %v/%q vs direct %v/%q", sc.Stmt, i,
+					sc.Classes[i].State, sc.Classes[i].Why, want[i].State, want[i].Why)
+			}
+		}
+	}
+	if _, err := art.ClassifyFunc("nope"); err == nil {
+		t.Fatal("ClassifyFunc on a missing function should fail")
+	}
+}
+
 func TestConcurrentSessionsOnOneArtifact(t *testing.T) {
 	art, err := minic.Compile("t.mc", loopProg, minic.WithPrecomputedAnalyses(2))
 	if err != nil {

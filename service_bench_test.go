@@ -5,8 +5,11 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -56,6 +59,64 @@ func BenchmarkAnalyzeProgram(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.NewAnalysisSet().Precompute(res.Mach, workers)
 			}
+		})
+	}
+}
+
+// BenchmarkProtocolQueries measures the same 64 classification queries
+// (info at a stop) issued through the full wire loop — JSON decode,
+// dispatch, JSON encode — once as 64 serial request lines and once as a
+// single batch request, which is the harness-style load the batch
+// command exists for.
+func BenchmarkProtocolQueries(b *testing.B) {
+	const queries = 64
+	s := server.New(server.Options{})
+	c := s.Handle(&server.Request{Cmd: "compile", Workload: "compress"})
+	if !c.OK {
+		b.Fatalf("compile: %+v", c.Error)
+	}
+	o := s.Handle(&server.Request{Cmd: "open-session", Artifact: c.Artifact})
+	if !o.OK {
+		b.Fatalf("open: %+v", o.Error)
+	}
+	sess := o.Session
+	stmt := 6
+	if r := s.Handle(&server.Request{Cmd: "break", Session: sess, Func: "compress", Stmt: &stmt}); !r.OK {
+		b.Fatalf("break: %+v", r.Error)
+	}
+	if r := s.Handle(&server.Request{Cmd: "continue", Session: sess}); !r.OK || r.Stop == nil {
+		b.Fatalf("continue: %+v", r)
+	}
+
+	encode := func(reqs []server.Request) string {
+		var sb strings.Builder
+		enc := json.NewEncoder(&sb)
+		for i := range reqs {
+			if err := enc.Encode(&reqs[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	info := make([]server.Request, queries)
+	for i := range info {
+		info[i] = server.Request{ID: int64(i + 1), Cmd: "info", Session: sess}
+	}
+	serialInput := encode(info)
+	batchedInput := encode([]server.Request{{ID: 1, Cmd: "batch", Reqs: info}})
+
+	for _, tc := range []struct{ name, input string }{
+		{"serial", serialInput},
+		{"batched", batchedInput},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.Serve(strings.NewReader(tc.input), io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(queries, "queries/op")
 		})
 	}
 }
