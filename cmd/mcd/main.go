@@ -1,9 +1,9 @@
 // mcd is the debug-session daemon: a long-lived service speaking a
 // line-delimited JSON protocol, serving any number of concurrent debug
-// sessions over a shared compiled-artifact cache. By default it serves
+// sessions over a shared compiled-artifact store. By default it serves
 // one connection on stdin/stdout (handy for scripting and tests); with
 // -listen or -unix it accepts many concurrent connections that share the
-// artifact cache and session table.
+// artifact store and session table.
 //
 // Usage:
 //
@@ -13,10 +13,18 @@
 //
 //	-listen addr     also serve TCP connections on addr (e.g. :7070)
 //	-unix path       also serve connections on a unix socket
-//	-cache n         artifact cache size in entries (default 32)
+//	-cache n         artifact store size in artifacts (default 32)
+//	-shards n        artifact store shard count (default 8)
+//	-mem-budget n    artifact + analysis memory budget in bytes (0 = unbounded)
+//	-spill-dir path  spill evicted artifacts to this directory and reload
+//	                 them on miss, so restarts keep the warm set
 //	-max-sessions n  concurrent session limit (default 64)
+//	-session-ttl d   reap sessions idle longer than d, e.g. 30m (0 = never)
 //	-budget n        per-session execution budget in instructions
 //	-workers n       analysis precompute worker pool (default GOMAXPROCS)
+//
+// On stdin EOF, SIGINT or SIGTERM the daemon flushes the resident
+// artifact set to the spill directory (when configured) before exiting.
 //
 // Protocol example (one request per line, one response per line):
 //
@@ -33,6 +41,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/server"
 )
@@ -40,18 +50,41 @@ import (
 func main() {
 	listen := flag.String("listen", "", "serve TCP connections on this address")
 	unix := flag.String("unix", "", "serve connections on this unix socket path")
-	cache := flag.Int("cache", server.DefaultCacheSize, "artifact cache size (entries)")
+	cache := flag.Int("cache", server.DefaultCacheSize, "artifact store size (artifacts)")
+	shards := flag.Int("shards", server.DefaultShards, "artifact store shard count")
+	memBudget := flag.Int64("mem-budget", 0, "artifact + analysis memory budget in bytes (0 = unbounded)")
+	spillDir := flag.String("spill-dir", "", "spill evicted artifacts to this directory (empty = memory-only)")
 	maxSess := flag.Int("max-sessions", server.DefaultMaxSessions, "concurrent session limit")
+	sessionTTL := flag.Duration("session-ttl", 0, "reap sessions idle longer than this (0 = never)")
 	budget := flag.Int64("budget", server.DefaultStepBudget, "per-session execution budget (instructions)")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	s := server.New(server.Options{
 		CacheSize:       *cache,
+		Shards:          *shards,
+		MemoryBudget:    *memBudget,
+		SpillDir:        *spillDir,
 		MaxSessions:     *maxSess,
+		SessionTTL:      *sessionTTL,
 		StepBudget:      *budget,
 		AnalysisWorkers: *workers,
 	})
+
+	// Flush the warm set on SIGINT/SIGTERM so a restarted daemon with the
+	// same -spill-dir serves it from disk.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		s.Close()
+		os.Exit(0)
+	}()
+
+	exit := func(code int) {
+		s.Close()
+		os.Exit(code)
+	}
 
 	errc := make(chan error, 2)
 	serving := false
@@ -59,7 +92,7 @@ func main() {
 		l, err := net.Listen("tcp", *listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "mcd: listening on %s\n", l.Addr())
 		serving = true
@@ -69,7 +102,7 @@ func main() {
 		l, err := net.Listen("unix", *unix)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "mcd: listening on unix socket %s\n", *unix)
 		serving = true
@@ -79,9 +112,9 @@ func main() {
 	if !serving {
 		if err := s.Serve(os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	// Listeners only: stdin still drives a session stream if piped, else
 	// block on the listeners.
@@ -89,12 +122,13 @@ func main() {
 	if st != nil && (st.Mode()&os.ModeCharDevice) == 0 {
 		if err := s.Serve(os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	if err := <-errc; err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

@@ -110,6 +110,14 @@ func TestScriptedTranscript(t *testing.T) {
 		st.AnalysesBuilt < 1 || st.CyclesExecuted <= 0 {
 		t.Fatalf("stats snapshot = %+v", st)
 	}
+	// The unified store's view arrives in the same snapshot: memory
+	// accounting (artifact + analyses), shard count, and an idle spill
+	// tier for this memory-only server.
+	if st := stats.Stats; st.CacheMemoryBytes <= 0 || st.AnalysisBytes <= 0 ||
+		st.AnalysisBytes >= st.CacheMemoryBytes || st.CacheShards < 1 ||
+		st.SessionsReaped != 0 || st.SpillHits != 0 || st.SpillWrites != 0 {
+		t.Fatalf("store stats snapshot = %+v", st)
+	}
 
 	// The same session driven through the debugger library exactly the
 	// way cmd/mcdbg does it: identical commands must yield identical
@@ -158,6 +166,71 @@ func mcdbgDisplays(t *testing.T) map[string]string {
 		out[r.Name] = r.Display()
 	}
 	return out
+}
+
+// TestSpillRestartTranscript is the disk-tier round trip at the daemon
+// level: a server with a spill dir compiles and shuts down, a second
+// server over the same dir serves the same compile as a warm hit, and the
+// rehydrated artifact's session transcript is identical.
+func TestSpillRestartTranscript(t *testing.T) {
+	dir := t.TempDir()
+	stmt := 1
+
+	script := func(art, sess string) []server.Request {
+		return []server.Request{
+			{ID: 10, Cmd: "break", Session: sess, Func: "g", Stmt: &stmt},
+			{ID: 11, Cmd: "continue", Session: sess},
+			{ID: 12, Cmd: "print", Session: sess, Var: "x"},
+			{ID: 13, Cmd: "info", Session: sess},
+		}
+	}
+	drive := func(s *server.Server) (art string, cached bool, resps []server.Response) {
+		t.Helper()
+		c := runTranscript(t, s, []server.Request{{ID: 1, Cmd: "compile", Name: "fig3.mc", Src: prog}})
+		if !c[0].OK {
+			t.Fatalf("compile = %+v", c[0])
+		}
+		o := runTranscript(t, s, []server.Request{{ID: 2, Cmd: "open-session", Artifact: c[0].Artifact}})
+		if o[0].Session == "" {
+			t.Fatalf("open = %+v", o[0])
+		}
+		return c[0].Artifact, c[0].Cached, runTranscript(t, s, script(c[0].Artifact, o[0].Session))
+	}
+
+	s1 := server.New(server.Options{SpillDir: dir})
+	art1, cached1, serial1 := drive(s1)
+	if cached1 {
+		t.Fatal("cold compile claims cached")
+	}
+	s1.Close()
+
+	s2 := server.New(server.Options{SpillDir: dir})
+	defer s2.Close()
+	art2, cached2, serial2 := drive(s2)
+	if !cached2 || art2 != art1 {
+		t.Fatalf("restart compile = (%s, cached=%v), want warm hit on %s", art2, cached2, art1)
+	}
+	st := runTranscript(t, s2, []server.Request{{ID: 99, Cmd: "stats"}})[0].Stats
+	if st.SpillHits < 1 || st.CacheMisses != 0 {
+		t.Fatalf("restart stats = %+v", st)
+	}
+	// The rehydrated artifact must answer every command identically.
+	if len(serial1) != len(serial2) {
+		t.Fatalf("transcript lengths differ: %d vs %d", len(serial1), len(serial2))
+	}
+	for i := range serial1 {
+		a, err := json.Marshal(&serial1[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(&serial2[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("command %d differs after restart:\ncold: %s\nwarm: %s", i, a, b)
+		}
+	}
 }
 
 // TestBatchMatchesSerial is the batch golden test: the same break →

@@ -1,11 +1,12 @@
 package compile
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sync"
+	"hash/maphash"
+
+	"repro/internal/store"
 )
 
 // Key identifies one compiled artifact: the hash of the source text plus
@@ -30,8 +31,8 @@ func KeyOf(name, src string, cfg Config) Key {
 	return k
 }
 
-// ID renders the key as a short stable identifier (for logs and protocol
-// artifact handles).
+// ID renders the key as a short stable identifier (for logs, protocol
+// artifact handles, and disk-tier filenames).
 func (k Key) ID() string {
 	// Fold the config into the printable id so the same source compiled
 	// under two configurations yields two distinct handles.
@@ -42,113 +43,159 @@ func (k Key) ID() string {
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.
+// The first four fields keep their historical meaning; the rest report the
+// unified store's memory accounting and disk tier.
 type CacheStats struct {
 	Hits      int64 // requests served from a completed or in-flight compile
 	Misses    int64 // requests that ran the pipeline
-	Evictions int64 // completed entries dropped by the LRU bound
+	Evictions int64 // completed entries dropped by the entry or byte bound
 	Entries   int   // resident entries (including in-flight)
+
+	MemoryBytes  int64 // accounted bytes of resident artifacts (+ analyses)
+	MemoryBudget int64 // configured byte budget (0 = unbounded)
+	Shards       int   // shard count of the backing store
+	SpillHits    int64 // misses served from the disk tier
+	SpillMisses  int64 // disk tier consulted, nothing usable found
+	SpillWrites  int64 // artifacts serialized to the disk tier
+	SpillErrors  int64 // disk tier I/O or codec failures (non-fatal)
 }
 
-// Cache is a concurrency-safe compiled-artifact cache with size-bounded
-// LRU eviction. Concurrent requests for the same Key are coalesced: the
-// first caller runs the pipeline while the others block and share its
-// Result, so N debug sessions on the same workload compile once.
+// cacheIdent is the store identity of one compilation request. Comparing
+// the full source text sounds expensive, but Go string equality short-cuts
+// on length and pointer, and the shard hash has already routed the lookup;
+// the hot hit path does no cryptographic hashing at all (the legacy cache
+// sha256-hashed the source on every request).
+type cacheIdent struct {
+	Name string
+	Src  string
+	Cfg  Config
+}
+
+var cacheSeed = maphash.MakeSeed()
+
+// cacheHash routes an identity to a shard. It covers name and source only:
+// the store matches entries by full equality on cacheIdent, so config need
+// not participate (same-source-different-config identities merely share a
+// shard).
+func cacheHash(m cacheIdent) uint64 {
+	var h maphash.Hash
+	h.SetSeed(cacheSeed)
+	h.WriteString(m.Name)
+	h.WriteByte(0)
+	h.WriteString(m.Src)
+	return h.Sum64()
+}
+
+// resultCodec serializes cache entries for the disk tier via the artifact
+// spill format.
+type resultCodec struct{}
+
+func (resultCodec) Encode(id string, m cacheIdent, v *Result) ([]byte, error) {
+	return EncodeSpill(m.Cfg, v)
+}
+
+func (resultCodec) Decode(id string, data []byte) (cacheIdent, *Result, int64, error) {
+	res, name, src, cfg, err := DecodeSpill(data)
+	if err != nil {
+		return cacheIdent{}, nil, 0, err
+	}
+	if got := KeyOf(name, src, cfg).ID(); got != id {
+		return cacheIdent{}, nil, 0, fmt.Errorf("spill: artifact identity %s does not match filename %s", got, id)
+	}
+	return cacheIdent{Name: name, Src: src, Cfg: cfg}, res, res.SizeBytes(), nil
+}
+
+// Cache is a concurrency-safe compiled-artifact cache: a thin adapter over
+// the unified store (sharded LRU + byte accounting + optional disk tier).
+// Concurrent requests for the same key are coalesced: the first caller
+// runs the pipeline while the others block and share its Result, so N
+// debug sessions on the same workload compile once.
 type Cache struct {
-	mu        sync.Mutex
-	max       int
-	entries   map[Key]*cacheEntry
-	order     *list.List // front = most recently used, values are *cacheEntry
-	hits      int64
-	misses    int64
-	evictions int64
+	s *store.Store[cacheIdent, *Result]
 }
 
-type cacheEntry struct {
-	key  Key
-	elem *list.Element
-	done chan struct{} // closed once res/err are filled
-	res  *Result
-	err  error
+// CacheConfig tunes a Cache beyond the legacy entry bound. The zero value
+// is a single-shard, unbounded, memory-only cache.
+type CacheConfig struct {
+	// Shards is the store shard count (rounded up to a power of two);
+	// <= 1 keeps the legacy single-lock, strict-LRU behavior.
+	Shards int
+	// MaxEntries bounds resident entries (exact with one shard, per-shard
+	// with more); <= 0 means unbounded.
+	MaxEntries int
+	// MemoryBudget bounds the accounted bytes of resident artifacts and
+	// their analyses; <= 0 means unbounded.
+	MemoryBudget int64
+	// SpillDir enables the disk tier: evicted and flushed artifacts are
+	// serialized there and reloaded on miss across restarts.
+	SpillDir string
 }
 
 // NewCache returns a cache bounded to max completed entries; max <= 0
-// means unbounded.
+// means unbounded. The result has the legacy single-shard strict-LRU
+// semantics; use NewCacheWith for sharding, byte budgets and disk spill.
 func NewCache(max int) *Cache {
-	return &Cache{
-		max:     max,
-		entries: map[Key]*cacheEntry{},
-		order:   list.New(),
+	return NewCacheWith(CacheConfig{MaxEntries: max})
+}
+
+// NewCacheWith returns a cache backed by a store configured per cfg.
+func NewCacheWith(cfg CacheConfig) *Cache {
+	sc := store.Config[cacheIdent, *Result]{
+		Shards:       cfg.Shards,
+		MaxEntries:   cfg.MaxEntries,
+		MemoryBudget: cfg.MemoryBudget,
+		Dir:          cfg.SpillDir,
+		Hash:         cacheHash,
 	}
+	if cfg.SpillDir != "" {
+		sc.Codec = resultCodec{}
+	}
+	return &Cache{s: store.New(sc)}
 }
 
 // Compile returns the Result for (name, src, cfg), compiling at most once
 // per key. hit reports whether the pipeline was skipped (the result came
-// from a completed or in-flight compile). Failed compiles are not cached:
-// every waiter receives the error and the key is forgotten.
+// from a completed or in-flight compile, or was rehydrated from the disk
+// tier). Failed compiles are not cached: every waiter receives the error
+// and the key is forgotten.
 func (c *Cache) Compile(name, src string, cfg Config) (res *Result, hit bool, err error) {
-	key := KeyOf(name, src, cfg)
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		c.order.MoveToFront(e.elem)
-		c.mu.Unlock()
-		<-e.done
-		return e.res, true, e.err
-	}
-	e := &cacheEntry{key: key, done: make(chan struct{})}
-	e.elem = c.order.PushFront(e)
-	c.entries[key] = e
-	c.misses++
-	c.mu.Unlock()
-
-	e.res, e.err = Compile(name, src, cfg)
-	close(e.done)
-
-	c.mu.Lock()
-	if e.err != nil {
-		// Entry may already have been evicted; delete is idempotent.
-		if cur, ok := c.entries[key]; ok && cur == e {
-			delete(c.entries, key)
-			c.order.Remove(e.elem)
-		}
-	} else {
-		c.evict()
-	}
-	c.mu.Unlock()
-	return e.res, false, e.err
+	m := cacheIdent{Name: name, Src: src, Cfg: cfg}
+	return c.s.Get(m,
+		func() string { return KeyOf(name, src, cfg).ID() },
+		func() (*Result, int64, error) {
+			r, err := Compile(name, src, cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			return r, r.SizeBytes(), nil
+		})
 }
 
-// evict drops least-recently-used completed entries until the bound holds.
-// Called with c.mu held.
-func (c *Cache) evict() {
-	if c.max <= 0 {
-		return
-	}
-	for el := c.order.Back(); el != nil && len(c.entries) > c.max; {
-		e := el.Value.(*cacheEntry)
-		prev := el.Prev()
-		select {
-		case <-e.done:
-			delete(c.entries, e.key)
-			c.order.Remove(el)
-			c.evictions++
-		default:
-			// Never evict an in-flight compile: waiters hold its entry.
-		}
-		el = prev
-	}
+// Lookup returns the cached Result with the given artifact id (see
+// Key.ID), consulting memory and then the disk tier. It never compiles.
+func (c *Cache) Lookup(id string) (*Result, bool) { return c.s.LookupID(id) }
+
+// AddCost charges delta additional accounted bytes to the artifact with
+// the given identity (e.g. its lazily built analyses); charges to evicted
+// identities are dropped.
+func (c *Cache) AddCost(name, src string, cfg Config, delta int64) {
+	c.s.AddCost(cacheIdent{Name: name, Src: src, Cfg: cfg}, delta)
 }
+
+// Flush serializes the resident artifact set to the disk tier (a no-op
+// without one), so a graceful shutdown keeps its warm set.
+func (c *Cache) Flush() { c.s.Flush() }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+	st := c.s.Stats()
+	return CacheStats{
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries,
+		MemoryBytes: st.MemoryBytes, MemoryBudget: st.MemoryBudget, Shards: st.Shards,
+		SpillHits: st.SpillHits, SpillMisses: st.SpillMisses,
+		SpillWrites: st.SpillWrites, SpillErrors: st.SpillErrors,
+	}
 }
 
 // Len returns the number of resident entries.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *Cache) Len() int { return c.s.Len() }

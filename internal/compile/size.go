@@ -1,0 +1,79 @@
+package compile
+
+import (
+	"unsafe"
+
+	"repro/internal/mach"
+)
+
+// SizeBytes estimates the resident memory cost of a compiled artifact for
+// the store's byte-budget accounting: the retained source text, a
+// front-end factor for the AST/semantic objects the machine code keeps
+// alive, and a structural walk of the machine program. It is an estimate
+// (Go has no cheap deep-size primitive), deliberately on the generous
+// side so a budget is a real ceiling rather than a suggestion.
+func (r *Result) SizeBytes() int64 {
+	var n int64
+	if r.File != nil {
+		// Source text plus the per-line index and the parsed AST +
+		// object graph, which empirically run a small multiple of the
+		// text size for MiniC programs.
+		n += int64(len(r.File.Content)) * 8
+	}
+	if r.Mach != nil {
+		n += sizeOfProgram(r.Mach)
+	}
+	return n
+}
+
+const (
+	instrBase = int64(unsafe.Sizeof(mach.Instr{})) + 16 // struct + pointer/header slack
+	blockBase = int64(unsafe.Sizeof(mach.Block{})) + 16
+	funcBase  = int64(unsafe.Sizeof(mach.Func{})) + 16
+	opdSize   = int64(unsafe.Sizeof(mach.Opd{}))
+	mapRow    = int64(48) // bucket share + key pointer + value word(s)
+)
+
+func sizeOfProgram(p *mach.Program) int64 {
+	n := int64(unsafe.Sizeof(*p))
+	n += int64(len(p.Globals)) * 8
+	n += int64(len(p.GlobalOff)) * mapRow
+	n += int64(len(p.GlobalInit)) * (mapRow + 32)
+	for _, f := range p.Funcs {
+		n += sizeOfFunc(f)
+	}
+	return n
+}
+
+func sizeOfFunc(f *mach.Func) int64 {
+	n := funcBase + int64(len(f.Name))
+	n += int64(len(f.FrameObjects)) * 8
+	n += int64(len(f.FrameOff)) * mapRow
+	n += int64(len(f.VarLoc)) * mapRow
+	for _, b := range f.Blocks {
+		n += blockBase
+		n += int64(len(b.Succs)+len(b.Preds)) * 8
+		n += int64(len(b.Instrs)) * 8
+		for _, in := range b.Instrs {
+			n += sizeOfInstr(in)
+		}
+	}
+	return n
+}
+
+func sizeOfInstr(in *mach.Instr) int64 {
+	n := instrBase
+	n += int64(len(in.Callee))
+	n += int64(len(in.Args)) * opdSize
+	n += int64(len(in.UseObjs)) * 8
+	for _, pa := range in.PrintFmt {
+		n += int64(unsafe.Sizeof(pa)) + int64(len(pa.Str))
+	}
+	if in.Ann.InsertedBy != "" {
+		n += int64(len(in.Ann.InsertedBy))
+	}
+	if in.Ann.Recover != nil {
+		n += 32
+	}
+	return n
+}

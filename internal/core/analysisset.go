@@ -18,6 +18,13 @@ type AnalysisSet struct {
 	m     map[*mach.Func]*analysisCell
 	opts  Options
 	built atomic.Int64
+	bytes atomic.Int64
+
+	// costHook, when set, is told the byte cost of each newly built
+	// analysis. The artifact store registers itself here so analyses are
+	// charged against — and evicted in lockstep with — their artifact.
+	hookMu   sync.Mutex
+	costHook func(int64)
 }
 
 type analysisCell struct {
@@ -46,8 +53,26 @@ func (s *AnalysisSet) Of(f *mach.Func) *Analysis {
 	c.once.Do(func() {
 		c.a = AnalyzeWith(f, s.opts)
 		s.built.Add(1)
+		cost := c.a.SizeBytes()
+		s.bytes.Add(cost)
+		s.hookMu.Lock()
+		hook := s.costHook
+		s.hookMu.Unlock()
+		if hook != nil {
+			hook(cost)
+		}
 	})
 	return c.a
+}
+
+// SetCostHook registers fn to be called with the byte cost of every
+// analysis built after this point (at most one hook is active). The
+// artifact store uses it to charge analyses against the same memory
+// budget as their artifact.
+func (s *AnalysisSet) SetCostHook(fn func(int64)) {
+	s.hookMu.Lock()
+	s.costHook = fn
+	s.hookMu.Unlock()
 }
 
 // Precompute builds the analyses for every function of p with a bounded
@@ -84,3 +109,7 @@ func (s *AnalysisSet) Precompute(p *mach.Program, workers int) {
 // Built returns how many analyses this set has constructed (each function
 // counts once, however many sessions share it).
 func (s *AnalysisSet) Built() int64 { return s.built.Load() }
+
+// Bytes returns the estimated resident size of every analysis built so
+// far (see Analysis.SizeBytes).
+func (s *AnalysisSet) Bytes() int64 { return s.bytes.Load() }

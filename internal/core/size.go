@@ -1,0 +1,71 @@
+package core
+
+// Memory accounting for the unified artifact store: an Analysis reports an
+// estimate of its resident size so the store can charge a compiled
+// artifact and its lazily built analyses against one byte budget and evict
+// them in lockstep.
+
+import (
+	"unsafe"
+
+	"repro/internal/dataflow"
+)
+
+// SizeBytes estimates the resident memory cost of the analysis: its
+// data-flow solution sets, cached transfer functions, precomputed
+// per-breakpoint tables, and rendered texts. Like the artifact estimator
+// it is deliberately generous, so a configured budget is a real ceiling.
+func (a *Analysis) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(*a))
+	if a.Table != nil {
+		n += a.Table.SizeBytes()
+	}
+	for i := range a.ents {
+		n += int64(unsafe.Sizeof(a.ents[i])) + int64(len(a.ents[i].gens))*16
+	}
+	n += int64(len(a.entOf)) * 48
+	n += int64(len(a.srcEnts)) * int64(unsafe.Sizeof(srcEntity{}))
+	n += int64(len(a.srcEntOf)) * 48
+	for _, vs := range a.varsByLoc {
+		n += 48 + int64(len(vs))*8
+	}
+	n += bitSetSlice(a.mayIn) + bitSetSlice(a.mustIn)
+	n += int64(len(a.blockIdx)) * 48
+	for _, effs := range a.eff {
+		n += 24
+		for i := range effs {
+			n += int64(unsafe.Sizeof(effs[i])) + int64(len(effs[i].gen)+len(effs[i].kill))*4
+		}
+	}
+	// bpSets values alias the stmtMay/stmtMust sets, so charge the pairs
+	// once (through the slices below) and only the map rows here.
+	n += int64(len(a.bpSets)) * 64
+	n += bitSetSlice(a.stmtMay) + bitSetSlice(a.stmtMust)
+	for _, es := range a.entsOfVar {
+		n += 24 + int64(len(es))*4
+	}
+	n += stringSlice(a.uninitWhy) + stringSlice(a.nonresWhy) + stringSlice(a.consWhy) + stringSlice(a.recWhy)
+	n += int64(len(a.recovered)) * int64(unsafe.Sizeof(Recovery{}))
+	return n
+}
+
+// bitSetSlice sums a slice of (possibly shared, possibly nil) bit sets.
+// Shared sets are charged once per appearance; overcounting aliased sets
+// keeps the estimate conservative.
+func bitSetSlice(sets []*dataflow.BitSet) int64 {
+	n := int64(len(sets)) * 8
+	for _, s := range sets {
+		if s != nil {
+			n += s.SizeBytes()
+		}
+	}
+	return n
+}
+
+func stringSlice(ss []string) int64 {
+	n := int64(len(ss)) * 16
+	for _, s := range ss {
+		n += int64(len(s))
+	}
+	return n
+}

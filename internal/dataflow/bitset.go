@@ -48,6 +48,10 @@ func NewBitSet(n int) *BitSet {
 // wordsFor returns the number of 64-bit words backing an n-bit set.
 func wordsFor(n int) int { return (n + 63) / 64 }
 
+// SizeBytes reports the resident size of the set (header + backing words),
+// for memory-budget accounting.
+func (b *BitSet) SizeBytes() int64 { return 32 + int64(len(b.words))*8 }
+
 // bitSetOver wraps an existing word slice as an n-bit set, so callers
 // that build many same-sized sets (the solver, the classifier's
 // per-breakpoint tables) can carve them out of one allocation. The slice

@@ -113,6 +113,17 @@ func (t *Table) VarsInScope(s int) []*ast.Object {
 	return out
 }
 
+// SizeBytes estimates the table's resident size (statement locations plus
+// the per-statement scope cache), for memory-budget accounting.
+func (t *Table) SizeBytes() int64 {
+	n := int64(64) // header
+	n += int64(len(t.stmtLoc)) * 24
+	for _, vs := range t.varsAt {
+		n += 24 + int64(len(vs))*8
+	}
+	return n
+}
+
 // StmtOfLoc returns the statement whose code region covers the given
 // location, preferring the instruction's own Stmt tag: this is the map the
 // debugger uses to report faults and interrupts in source terms.

@@ -131,14 +131,29 @@ const (
 	CodeInternal       = "internal"
 )
 
-// Stats is the metrics snapshot reported by the stats command.
+// Stats is the metrics snapshot reported by the stats command. The cache
+// and spill counters are one consistent per-shard snapshot of the unified
+// artifact store; cache_memory_bytes includes the accounted cost of built
+// analyses (analysis_bytes is the analyses' share).
 type Stats struct {
 	SessionsActive int64 `json:"sessions_active"`
 	SessionsOpened int64 `json:"sessions_opened"`
-	CacheHits      int64 `json:"cache_hits"`
-	CacheMisses    int64 `json:"cache_misses"`
-	CacheEvictions int64 `json:"cache_evictions"`
-	CacheEntries   int   `json:"cache_entries"`
+	SessionsReaped int64 `json:"sessions_reaped"`
+
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheEvictions    int64 `json:"cache_evictions"`
+	CacheEntries      int   `json:"cache_entries"`
+	CacheMemoryBytes  int64 `json:"cache_memory_bytes"`
+	CacheMemoryBudget int64 `json:"cache_memory_budget"`
+	CacheShards       int   `json:"cache_shards"`
+	AnalysisBytes     int64 `json:"analysis_bytes"`
+
+	SpillHits   int64 `json:"spill_hits"`
+	SpillMisses int64 `json:"spill_misses"`
+	SpillWrites int64 `json:"spill_writes"`
+	SpillErrors int64 `json:"spill_errors"`
+
 	AnalysesBuilt  int64 `json:"analyses_built"`
 	CyclesExecuted int64 `json:"cycles_executed"`
 	Requests       int64 `json:"requests"`

@@ -10,10 +10,11 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/artstore"
 	"repro/internal/bench"
 	"repro/internal/compile"
-	"repro/internal/core"
 	"repro/internal/debugger"
 	"repro/internal/opt"
 	"repro/internal/vm"
@@ -22,9 +23,19 @@ import (
 // Options tunes the service's robustness rails. The zero value selects
 // the defaults below.
 type Options struct {
-	// CacheSize bounds the compiled-artifact cache (entries); <= 0 means
+	// CacheSize bounds the compiled-artifact store (artifacts); <= 0 means
 	// DefaultCacheSize.
 	CacheSize int
+	// Shards is the artifact store's shard count (rounded up to a power of
+	// two); <= 0 means DefaultShards.
+	Shards int
+	// MemoryBudget bounds the accounted bytes of resident artifacts plus
+	// their built analyses; <= 0 means unbounded.
+	MemoryBudget int64
+	// SpillDir enables the artifact store's disk tier: evicted and flushed
+	// artifacts are serialized there and reloaded on miss, so a restarted
+	// server keeps its warm set. Empty means memory-only.
+	SpillDir string
 	// MaxSessions caps concurrently open sessions; <= 0 means
 	// DefaultMaxSessions.
 	MaxSessions int
@@ -36,54 +47,72 @@ type Options struct {
 	// AnalysisWorkers bounds the worker pool that precomputes the
 	// per-function core analyses after a compile; <= 0 means GOMAXPROCS.
 	AnalysisWorkers int
+	// SessionTTL reaps sessions idle for longer than this (their slot is
+	// freed and later commands get no-such-session); <= 0 disables
+	// reaping. Sessions that outlive a dropped connection are otherwise
+	// never garbage-collected.
+	SessionTTL time.Duration
+	// ReapInterval is how often the reaper scans; <= 0 means
+	// min(SessionTTL/4, DefaultReapInterval).
+	ReapInterval time.Duration
 }
 
 // Defaults for Options.
 const (
-	DefaultCacheSize   = 32
-	DefaultMaxSessions = 64
-	DefaultStepBudget  = int64(500_000_000)
+	DefaultCacheSize    = 32
+	DefaultShards       = 8
+	DefaultMaxSessions  = 64
+	DefaultStepBudget   = int64(500_000_000)
+	DefaultReapInterval = time.Minute
 )
 
 // Artifact is one compiled program plus its shared analysis set. Every
 // session opened on it reuses both.
-type Artifact struct {
-	ID       string
-	Res      *compile.Result
-	Analyses *core.AnalysisSet
-}
+type Artifact = artstore.Artifact
 
 type session struct {
 	id  string
 	art *Artifact
+
+	lastActive atomic.Int64 // unix nanos of the latest command
 
 	mu     sync.Mutex // serializes commands racing on one session
 	dbg    *debugger.Debugger
 	cycles int64 // VM cycles already credited to the metrics
 }
 
+func (sess *session) touch() { sess.lastActive.Store(time.Now().UnixNano()) }
+
 // Server is the long-lived debug-session service. It is safe for
 // concurrent use: Serve may be called from any number of connection
 // goroutines against one Server.
 type Server struct {
 	opts  Options
-	cache *compile.Cache
+	store *artstore.Store
 
-	mu        sync.Mutex
-	artifacts map[string]*Artifact
-	sessions  map[string]*session
-	nextSess  int64
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextSess int64
 
 	sessionsOpened atomic.Int64
+	sessionsReaped atomic.Int64
 	cyclesExecuted atomic.Int64
 	requests       atomic.Int64
 	panics         atomic.Int64
+
+	closeOnce sync.Once
+	reapStop  chan struct{}
+	reapDone  chan struct{}
 }
 
-// New creates a service with the given options.
+// New creates a service with the given options. Call Close to stop the
+// idle-session reaper and flush the artifact store's disk tier.
 func New(opts Options) *Server {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
 	}
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = DefaultMaxSessions
@@ -91,12 +120,83 @@ func New(opts Options) *Server {
 	if opts.StepBudget <= 0 {
 		opts.StepBudget = DefaultStepBudget
 	}
-	return &Server{
-		opts:      opts,
-		cache:     compile.NewCache(opts.CacheSize),
-		artifacts: map[string]*Artifact{},
-		sessions:  map[string]*session{},
+	if opts.ReapInterval <= 0 {
+		opts.ReapInterval = DefaultReapInterval
+		if opts.SessionTTL > 0 && opts.SessionTTL/4 < opts.ReapInterval {
+			opts.ReapInterval = opts.SessionTTL / 4
+		}
 	}
+	s := &Server{
+		opts: opts,
+		store: artstore.New(artstore.Config{
+			Shards:       opts.Shards,
+			MaxArtifacts: opts.CacheSize,
+			MemoryBudget: opts.MemoryBudget,
+			SpillDir:     opts.SpillDir,
+		}),
+		sessions: map[string]*session{},
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	if opts.SessionTTL > 0 {
+		go s.reapLoop()
+	} else {
+		close(s.reapDone)
+	}
+	return s
+}
+
+// Close stops the idle-session reaper and flushes the resident artifact
+// set to the disk tier (if configured), so a restart keeps the warm set.
+// The server still answers requests after Close; only the background
+// machinery stops.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.reapStop)
+		<-s.reapDone
+		s.store.Flush()
+	})
+}
+
+// reapLoop scans for idle sessions every ReapInterval.
+func (s *Server) reapLoop() {
+	defer close(s.reapDone)
+	t := time.NewTicker(s.opts.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case <-t.C:
+			s.ReapIdleSessions()
+		}
+	}
+}
+
+// ReapIdleSessions closes every session idle for longer than SessionTTL
+// and returns how many were reaped. It is a no-op when reaping is
+// disabled.
+func (s *Server) ReapIdleSessions() int {
+	if s.opts.SessionTTL <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-s.opts.SessionTTL).UnixNano()
+	s.mu.Lock()
+	var victims []string
+	for id, sess := range s.sessions {
+		if sess.lastActive.Load() < cutoff {
+			victims = append(victims, id)
+		}
+	}
+	for _, id := range victims {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if n := len(victims); n > 0 {
+		s.sessionsReaped.Add(int64(n))
+		return n
+	}
+	return 0
 }
 
 // Serve answers requests from r on w, one JSON object per line, until r
@@ -129,7 +229,7 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 }
 
 // ListenAndServe accepts connections on l and serves each concurrently
-// against the shared artifact cache and session table. It returns when
+// against the shared artifact store and session table. It returns when
 // the listener is closed.
 func (s *Server) ListenAndServe(l net.Listener) error {
 	for {
@@ -249,31 +349,21 @@ func (s *Server) handleCompile(req *Request) *Response {
 	if err != nil {
 		return errResp(req.ID, CodeBadRequest, err.Error())
 	}
-	res, hit, err := s.cache.Compile(name, src, cfg)
+	art, hit, err := s.store.Get(name, src, cfg)
 	if err != nil {
 		return errResp(req.ID, CodeCompileError, err.Error())
 	}
-	id := compile.KeyOf(name, src, cfg).ID()
-
-	s.mu.Lock()
-	art, ok := s.artifacts[id]
-	if !ok {
-		art = &Artifact{ID: id, Res: res, Analyses: core.NewAnalysisSet()}
-		s.artifacts[id] = art
-	}
-	s.mu.Unlock()
-	if !ok {
+	if !hit {
 		// Precompute every function's analyses once with a bounded pool,
 		// so sessions never pay the data-flow cost at their first stop.
+		// (Artifacts rehydrated from the disk tier rebuild lazily.)
 		art.Analyses.Precompute(art.Res.Mach, s.opts.AnalysisWorkers)
 	}
-	return &Response{ID: req.ID, OK: true, Artifact: id, Cached: hit, Funcs: len(art.Res.Mach.Funcs)}
+	return &Response{ID: req.ID, OK: true, Artifact: art.ID(), Cached: hit, Funcs: len(art.Res.Mach.Funcs)}
 }
 
 func (s *Server) handleOpen(req *Request) *Response {
-	s.mu.Lock()
-	art, ok := s.artifacts[req.Artifact]
-	s.mu.Unlock()
+	art, ok := s.store.Lookup(req.Artifact)
 	if !ok {
 		return errResp(req.ID, CodeNoSuchArtifact, fmt.Sprintf("no artifact %q (compile first)", req.Artifact))
 	}
@@ -291,10 +381,11 @@ func (s *Server) handleOpen(req *Request) *Response {
 	}
 	s.nextSess++
 	sess := &session{id: fmt.Sprintf("s%d", s.nextSess), art: art, dbg: dbg}
+	sess.touch()
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 	s.sessionsOpened.Add(1)
-	return &Response{ID: req.ID, OK: true, Session: sess.id, Artifact: art.ID}
+	return &Response{ID: req.ID, OK: true, Session: sess.id, Artifact: art.ID()}
 }
 
 func (s *Server) handleSession(req *Request) *Response {
@@ -304,6 +395,7 @@ func (s *Server) handleSession(req *Request) *Response {
 	if !ok {
 		return errResp(req.ID, CodeNoSuchSession, fmt.Sprintf("no session %q", req.Session))
 	}
+	sess.touch()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
@@ -415,26 +507,38 @@ func errResp(id int64, code, msg string) *Response {
 	return &Response{ID: id, OK: false, Error: &ProtoError{Code: code, Message: msg}}
 }
 
-// Snapshot returns the current metrics.
+// Snapshot returns the current metrics. The store counters come from one
+// consistent per-shard snapshot (each shard is read under its lock);
+// analysis totals are summed over the resident artifacts.
 func (s *Server) Snapshot() Stats {
-	cs := s.cache.Stats()
+	cs := s.store.Stats()
+	var built, analysisBytes int64
+	s.store.Range(func(id string, a *Artifact) {
+		built += a.Analyses.Built()
+		analysisBytes += a.Analyses.Bytes()
+	})
 	s.mu.Lock()
 	active := int64(len(s.sessions))
-	var built int64
-	for _, a := range s.artifacts {
-		built += a.Analyses.Built()
-	}
 	s.mu.Unlock()
 	return Stats{
-		SessionsActive: active,
-		SessionsOpened: s.sessionsOpened.Load(),
-		CacheHits:      cs.Hits,
-		CacheMisses:    cs.Misses,
-		CacheEvictions: cs.Evictions,
-		CacheEntries:   cs.Entries,
-		AnalysesBuilt:  built,
-		CyclesExecuted: s.cyclesExecuted.Load(),
-		Requests:       s.requests.Load(),
-		Panics:         s.panics.Load(),
+		SessionsActive:    active,
+		SessionsOpened:    s.sessionsOpened.Load(),
+		SessionsReaped:    s.sessionsReaped.Load(),
+		CacheHits:         cs.Hits,
+		CacheMisses:       cs.Misses,
+		CacheEvictions:    cs.Evictions,
+		CacheEntries:      cs.Entries,
+		CacheMemoryBytes:  cs.MemoryBytes,
+		CacheMemoryBudget: cs.MemoryBudget,
+		CacheShards:       cs.Shards,
+		AnalysisBytes:     analysisBytes,
+		SpillHits:         cs.SpillHits,
+		SpillMisses:       cs.SpillMisses,
+		SpillWrites:       cs.SpillWrites,
+		SpillErrors:       cs.SpillErrors,
+		AnalysesBuilt:     built,
+		CyclesExecuted:    s.cyclesExecuted.Load(),
+		Requests:          s.requests.Load(),
+		Panics:            s.panics.Load(),
 	}
 }

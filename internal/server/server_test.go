@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 const testProg = `
@@ -219,11 +220,9 @@ func TestConcurrentSessionStress(t *testing.T) {
 	// Analyses are shared per artifact: the total built must not scale
 	// with the number of sessions.
 	var funcs int64
-	s.mu.Lock()
-	for _, a := range s.artifacts {
+	s.store.Range(func(id string, a *Artifact) {
 		funcs += int64(len(a.Res.Mach.Funcs))
-	}
-	s.mu.Unlock()
+	})
 	if st.AnalysesBuilt != funcs {
 		t.Errorf("analyses_built = %d, want %d (one per function per artifact)", st.AnalysesBuilt, funcs)
 	}
@@ -281,4 +280,102 @@ func driveSession(s *Server, w string, seed int) error {
 		return fmt.Errorf("%s: close: %+v", w, cl.Error)
 	}
 	return nil
+}
+
+func TestIdleSessionReaping(t *testing.T) {
+	s := New(Options{SessionTTL: 40 * time.Millisecond, ReapInterval: 10 * time.Millisecond})
+	defer s.Close()
+	_, sess := compileAndOpen(t, s, "t.mc", testProg)
+
+	// An active session survives: keep touching it past several TTLs.
+	for i := 0; i < 5; i++ {
+		time.Sleep(15 * time.Millisecond)
+		if r := s.Handle(&Request{Cmd: "where", Session: sess}); !r.OK {
+			t.Fatalf("active session reaped at touch %d: %+v", i, r.Error)
+		}
+	}
+
+	// An idle session is closed and its slot freed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Snapshot()
+		if st.SessionsActive == 0 && st.SessionsReaped >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session not reaped: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if r := s.Handle(&Request{Cmd: "where", Session: sess}); r.OK || r.Error.Code != CodeNoSuchSession {
+		t.Fatalf("reaped session still answers: %+v", r)
+	}
+	// The freed slot is reusable.
+	if _, sess2 := compileAndOpen(t, s, "t.mc", testProg); sess2 == "" {
+		t.Fatal("could not open a session after reaping")
+	}
+}
+
+func TestReapingDisabledByDefault(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	if n := s.ReapIdleSessions(); n != 0 {
+		t.Fatalf("reaped %d sessions with reaping disabled", n)
+	}
+}
+
+func TestRestartWithSpillKeepsWarmSet(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{SpillDir: dir})
+	c1 := mustOK(t, s, &Request{Cmd: "compile", Name: "t.mc", Src: testProg})
+	if c1.Cached {
+		t.Fatal("first compile claims cached")
+	}
+	s.Close() // flushes the warm set
+
+	restarted := New(Options{SpillDir: dir})
+	defer restarted.Close()
+	c2 := mustOK(t, restarted, &Request{Cmd: "compile", Name: "t.mc", Src: testProg})
+	if !c2.Cached || c2.Artifact != c1.Artifact {
+		t.Fatalf("restart lost the warm set: %+v (want cached %s)", c2, c1.Artifact)
+	}
+	st := restarted.Snapshot()
+	if st.SpillHits != 1 || st.CacheMisses != 0 {
+		t.Fatalf("restart stats = %+v", st)
+	}
+	// Sessions on the rehydrated artifact behave identically.
+	o := mustOK(t, restarted, &Request{Cmd: "open-session", Artifact: c2.Artifact})
+	mustOK(t, restarted, &Request{Cmd: "break", Session: o.Session, Func: "main", Stmt: intp(1)})
+	cont := mustOK(t, restarted, &Request{Cmd: "continue", Session: o.Session})
+	if cont.Stop == nil {
+		t.Fatalf("continue on rehydrated artifact = %+v", cont)
+	}
+	p := mustOK(t, restarted, &Request{Cmd: "print", Session: o.Session, Var: "x"})
+	if len(p.Vars) != 1 || !strings.HasPrefix(p.Vars[0].Display, "x = 10") {
+		t.Fatalf("print on rehydrated artifact = %+v", p.Vars)
+	}
+}
+
+func TestStatsConsistentViewIncludesMemoryAndSpill(t *testing.T) {
+	s := New(Options{MemoryBudget: 1 << 30, Shards: 4})
+	defer s.Close()
+	_, sess := compileAndOpen(t, s, "t.mc", testProg)
+	mustOK(t, s, &Request{Cmd: "break", Session: sess, Func: "main", Stmt: intp(1)})
+	mustOK(t, s, &Request{Cmd: "continue", Session: sess})
+	st := s.Snapshot()
+	if st.CacheMemoryBytes <= 0 {
+		t.Fatalf("cache_memory_bytes = %d", st.CacheMemoryBytes)
+	}
+	if st.AnalysisBytes <= 0 || st.AnalysisBytes >= st.CacheMemoryBytes {
+		t.Fatalf("analysis_bytes = %d of %d", st.AnalysisBytes, st.CacheMemoryBytes)
+	}
+	if st.CacheShards != 4 {
+		t.Fatalf("cache_shards = %d", st.CacheShards)
+	}
+	if st.CacheMemoryBudget != 1<<30 {
+		t.Fatalf("cache_memory_budget = %d", st.CacheMemoryBudget)
+	}
+	if st.SessionsActive != 1 {
+		t.Fatalf("sessions_active = %d", st.SessionsActive)
+	}
 }

@@ -20,6 +20,7 @@ package minic
 import (
 	"fmt"
 
+	"repro/internal/artstore"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/debugger"
@@ -34,6 +35,7 @@ type Option func(*settings)
 type settings struct {
 	cfg        compile.Config
 	cache      *Cache
+	store      *Store
 	precompute int // -1: off, 0: GOMAXPROCS, >0: bounded pool
 }
 
@@ -107,6 +109,58 @@ type CacheStats = compile.CacheStats
 // means unbounded) for use with WithCache.
 func NewCache(max int) *Cache { return compile.NewCache(max) }
 
+// Store is the unified artifact store: a sharded, memory-accounted cache
+// that retains compiled artifacts together with their lazily built
+// analyses under one byte budget, over an optional disk tier that
+// survives restarts. Use NewStore + WithStore to compile through one.
+type Store = artstore.Store
+
+// StoreOption configures NewStore.
+type StoreOption func(*artstore.Config)
+
+// WithShards sets the store's shard count (rounded up to a power of two);
+// more shards reduce lock contention under concurrent compile traffic.
+func WithShards(n int) StoreOption {
+	return func(c *artstore.Config) { c.Shards = n }
+}
+
+// WithMaxArtifacts bounds the number of resident artifacts (<= 0 means
+// unbounded).
+func WithMaxArtifacts(n int) StoreOption {
+	return func(c *artstore.Config) { c.MaxArtifacts = n }
+}
+
+// WithMemoryBudget bounds the accounted bytes of resident artifacts plus
+// their built analyses; least-recently-used artifacts are evicted (and
+// spilled, if a spill dir is set) to stay within it. <= 0 means
+// unbounded.
+func WithMemoryBudget(bytes int64) StoreOption {
+	return func(c *artstore.Config) { c.MemoryBudget = bytes }
+}
+
+// WithSpillDir enables the disk tier: evicted artifacts are serialized to
+// dir and reloaded on miss, so a new process with the same dir keeps the
+// warm set.
+func WithSpillDir(dir string) StoreOption {
+	return func(c *artstore.Config) { c.SpillDir = dir }
+}
+
+// NewStore creates an artifact store for use with WithStore.
+func NewStore(opts ...StoreOption) *Store {
+	var cfg artstore.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return artstore.New(cfg)
+}
+
+// WithStore compiles through st: identical requests are served from the
+// store (memory or disk tier), concurrent requests coalesce into one
+// pipeline run, and the resulting Artifact shares the store's analysis
+// set, so analyses are charged against — and evicted with — the artifact.
+// Takes precedence over WithCache.
+func WithStore(st *Store) Option { return func(s *settings) { s.store = st } }
+
 // Artifact is one compiled program: every representation level produced
 // by the pipeline plus the (lazily built, concurrency-safe) per-function
 // debugger analyses. Artifacts are immutable and may back any number of
@@ -124,19 +178,31 @@ func Compile(name, src string, opts ...Option) (*Artifact, error) {
 	for _, o := range opts {
 		o(&s)
 	}
-	var res *compile.Result
-	var err error
-	if s.cache != nil {
-		res, _, err = s.cache.Compile(name, src, s.cfg)
-	} else {
-		res, err = compile.Compile(name, src, s.cfg)
+	var a *Artifact
+	switch {
+	case s.store != nil:
+		sa, _, err := s.store.Get(name, src, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Share the store's analysis set so the artifact and its
+		// analyses are accounted and evicted as one unit.
+		a = &Artifact{res: sa.Res, analyses: sa.Analyses}
+	case s.cache != nil:
+		res, _, err := s.cache.Compile(name, src, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		a = &Artifact{res: res, analyses: core.NewAnalysisSet()}
+	default:
+		res, err := compile.Compile(name, src, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		a = &Artifact{res: res, analyses: core.NewAnalysisSet()}
 	}
-	if err != nil {
-		return nil, err
-	}
-	a := &Artifact{res: res, analyses: core.NewAnalysisSet()}
 	if s.precompute >= 0 {
-		a.analyses.Precompute(res.Mach, s.precompute)
+		a.analyses.Precompute(a.res.Mach, s.precompute)
 	}
 	return a, nil
 }

@@ -1,0 +1,226 @@
+package minic_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/pkg/minic"
+)
+
+// distinct MiniC sources whose combined artifact + analysis cost far
+// exceeds the stress test's budget. Each differs in constants and loop
+// bounds, so artifacts, displays and classifications all differ.
+func stressSource(i int) (string, string) {
+	return fmt.Sprintf("stress%d.mc", i), fmt.Sprintf(`
+int g(int c, int a, int b) {
+	int x = a * b + %d;
+	int r = 0;
+	if (c) {
+		r = x;
+	}
+	return r + a;
+}
+int main() {
+	int s = 0;
+	int i;
+	for (i = 0; i < %d; i++) { s += g(i, i + 1, %d); }
+	print(s);
+	return s;
+}
+`, i, 4+i%5, 2+i)
+}
+
+// renderClassifications flattens a full-function classification sweep to
+// one comparable string.
+func renderClassifications(a *minic.Artifact, fn string) (string, error) {
+	scs, err := a.ClassifyFunc(fn)
+	if err != nil {
+		return "", err
+	}
+	out := ""
+	for _, sc := range scs {
+		for _, c := range sc.Classes {
+			out += fmt.Sprintf("%d %s %s %s %s\n", sc.Stmt, c.Var.Name, c.State, c.Cause, c.Why)
+		}
+	}
+	return out, nil
+}
+
+// TestStoreEvictionStress is the tentpole's concurrency-correctness test:
+// N goroutines compile M-sources-worth of traffic through a store whose
+// budget holds only a fraction of them (forcing constant eviction and
+// spill), while classifier goroutines sweep whole functions on the
+// artifacts as they come out. Run under -race. Every classification must
+// match the single-threaded reference — no classification may observe a
+// partially evicted artifact — and spilled artifacts must reload
+// byte-identical machine code.
+func TestStoreEvictionStress(t *testing.T) {
+	const (
+		numSources   = 24
+		compilers    = 4
+		classifiers  = 4
+		roundsPerSrc = 3
+	)
+
+	// Single-threaded reference, compiled outside any store.
+	wantMach := make([]string, numSources)
+	wantClasses := make([]string, numSources)
+	for i := 0; i < numSources; i++ {
+		name, src := stressSource(i)
+		a, err := minic.Compile(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMach[i] = a.Result().Mach.String()
+		wantClasses[i], err = renderClassifications(a, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	// Budget sized well below the combined cost (each artifact + analyses
+	// runs tens of KB) so eviction and spill churn throughout the test.
+	st := minic.NewStore(
+		minic.WithShards(8),
+		minic.WithMemoryBudget(256<<10),
+		minic.WithSpillDir(dir),
+	)
+
+	arts := make(chan int, compilers*numSources*roundsPerSrc)
+	var wg sync.WaitGroup
+	errs := make(chan error, compilers+classifiers)
+
+	// Compilers: sweep the source set repeatedly through the store.
+	for c := 0; c < compilers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < roundsPerSrc; r++ {
+				for i := 0; i < numSources; i++ {
+					idx := (i + c*7) % numSources
+					name, src := stressSource(idx)
+					a, err := minic.Compile(name, src, minic.WithStore(st))
+					if err != nil {
+						errs <- fmt.Errorf("compiler %d: %s: %v", c, name, err)
+						return
+					}
+					if got := a.Result().Mach.String(); got != wantMach[idx] {
+						errs <- fmt.Errorf("compiler %d: %s: machine code differs from reference", c, name)
+						return
+					}
+					arts <- idx
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+
+	// Classifiers: sweep whole functions on artifacts as compilers hand
+	// them over; every sweep must match the reference even while the
+	// store is evicting and spilling under them.
+	for cl := 0; cl < classifiers; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			n := 0
+			for idx := range arts {
+				name, src := stressSource(idx)
+				a, err := minic.Compile(name, src, minic.WithStore(st))
+				if err != nil {
+					errs <- fmt.Errorf("classifier %d: %s: %v", cl, name, err)
+					return
+				}
+				got, err := renderClassifications(a, "g")
+				if err != nil {
+					errs <- fmt.Errorf("classifier %d: %s: %v", cl, name, err)
+					return
+				}
+				if got != wantClasses[idx] {
+					errs <- fmt.Errorf("classifier %d: %s: classifications differ from reference:\ngot:\n%s\nwant:\n%s",
+						cl, name, got, wantClasses[idx])
+					return
+				}
+				n++
+			}
+			errs <- nil
+		}(cl)
+	}
+
+	// Close the work channel once the compilers are done.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < compilers; i++ {
+			if err := <-errs; err != nil {
+				t.Error(err)
+			}
+		}
+		close(arts)
+		for i := 0; i < classifiers; i++ {
+			if err := <-errs; err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if t.Failed() {
+		return
+	}
+
+	stats := st.Stats()
+	if stats.Evictions == 0 || stats.SpillWrites == 0 {
+		t.Fatalf("stress did not churn the store: %+v", stats)
+	}
+	if stats.MemoryBytes > stats.MemoryBudget {
+		t.Fatalf("accounted bytes %d exceed budget %d", stats.MemoryBytes, stats.MemoryBudget)
+	}
+
+	// Every spilled artifact reloads byte-identical: drain the store by
+	// requesting everything once more (most now come from the disk tier).
+	for i := 0; i < numSources; i++ {
+		name, src := stressSource(i)
+		a, err := minic.Compile(name, src, minic.WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Result().Mach.String(); got != wantMach[i] {
+			t.Fatalf("%s: reloaded machine code differs from reference", name)
+		}
+		got, err := renderClassifications(a, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantClasses[i] {
+			t.Fatalf("%s: reloaded classifications differ from reference", name)
+		}
+	}
+	if st.Stats().SpillHits == 0 {
+		t.Fatalf("drain never hit the disk tier: %+v", st.Stats())
+	}
+}
+
+// TestStoreSharedAnalyses checks the WithStore artifact identity: two
+// compiles of one source through one store share both the result and the
+// analysis set.
+func TestStoreSharedAnalyses(t *testing.T) {
+	st := minic.NewStore()
+	name, src := stressSource(0)
+	a1, err := minic.Compile(name, src, minic.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := minic.Compile(name, src, minic.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Result() != a2.Result() {
+		t.Fatal("store hit returned a different result")
+	}
+	f := a1.Func("g")
+	if a1.Analysis(f) != a2.Analysis(f) {
+		t.Fatal("analyses not shared across store hits")
+	}
+}
