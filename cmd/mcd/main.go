@@ -13,6 +13,9 @@
 //
 //	-listen addr     also serve TCP connections on addr (e.g. :7070)
 //	-unix path       also serve connections on a unix socket
+//	-auth-token tok  require this shared secret before serving anything
+//	                 but stats (clients auth once or per request)
+//	-drain-timeout d how long shutdown waits for in-flight requests
 //	-cache n         artifact store size in artifacts (default 32)
 //	-shards n        artifact store shard count (default 8)
 //	-mem-budget n    artifact + analysis memory budget in bytes (0 = unbounded)
@@ -23,8 +26,15 @@
 //	-budget n        per-session execution budget in instructions
 //	-workers n       analysis precompute worker pool (default GOMAXPROCS)
 //
-// On stdin EOF, SIGINT or SIGTERM the daemon flushes the resident
-// artifact set to the spill directory (when configured) before exiting.
+// Every connection owns the sessions it opens: open-session returns an
+// unguessable session id plus a secret handle, other connections'
+// commands on it are denied, and a dropped connection leaves its
+// sessions detached until a client presents the handle (attach) or the
+// -session-ttl reaper collects them.
+//
+// On stdin EOF, SIGINT or SIGTERM the daemon stops accepting, drains
+// in-flight requests, and flushes the resident artifact set to the spill
+// directory (when configured) before exiting.
 //
 // Protocol example (one request per line, one response per line):
 //
@@ -50,6 +60,8 @@ import (
 func main() {
 	listen := flag.String("listen", "", "serve TCP connections on this address")
 	unix := flag.String("unix", "", "serve connections on this unix socket path")
+	authToken := flag.String("auth-token", "", "shared secret required before serving anything but stats")
+	drainTimeout := flag.Duration("drain-timeout", server.DefaultDrainTimeout, "how long shutdown waits for in-flight requests")
 	cache := flag.Int("cache", server.DefaultCacheSize, "artifact store size (artifacts)")
 	shards := flag.Int("shards", server.DefaultShards, "artifact store shard count")
 	memBudget := flag.Int64("mem-budget", 0, "artifact + analysis memory budget in bytes (0 = unbounded)")
@@ -61,6 +73,8 @@ func main() {
 	flag.Parse()
 
 	s := server.New(server.Options{
+		AuthToken:       *authToken,
+		DrainTimeout:    *drainTimeout,
 		CacheSize:       *cache,
 		Shards:          *shards,
 		MemoryBudget:    *memBudget,

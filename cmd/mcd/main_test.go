@@ -75,13 +75,16 @@ func TestScriptedTranscript(t *testing.T) {
 	resps = runTranscript(t, s, []server.Request{
 		{ID: 3, Cmd: "open-session", Artifact: art},
 	})
-	sess := resps[0].Session
-	if sess == "" {
+	sess, handle := resps[0].Session, resps[0].Handle
+	if sess == "" || handle == "" {
 		t.Fatalf("open-session = %+v", resps[0])
 	}
 
+	// Each runTranscript call is its own connection, so the session is
+	// detached between them; the first command presents the handle to
+	// reattach (capability-style), the rest ride the new ownership.
 	resps = runTranscript(t, s, []server.Request{
-		{ID: 4, Cmd: "break", Session: sess, Func: "g", Stmt: &stmt},
+		{ID: 4, Cmd: "break", Session: sess, Handle: handle, Func: "g", Stmt: &stmt},
 		{ID: 5, Cmd: "continue", Session: sess},
 		{ID: 6, Cmd: "print", Session: sess, Var: "x"},
 		{ID: 7, Cmd: "info", Session: sess},
@@ -176,9 +179,9 @@ func TestSpillRestartTranscript(t *testing.T) {
 	dir := t.TempDir()
 	stmt := 1
 
-	script := func(art, sess string) []server.Request {
+	script := func(sess, handle string) []server.Request {
 		return []server.Request{
-			{ID: 10, Cmd: "break", Session: sess, Func: "g", Stmt: &stmt},
+			{ID: 10, Cmd: "break", Session: sess, Handle: handle, Func: "g", Stmt: &stmt},
 			{ID: 11, Cmd: "continue", Session: sess},
 			{ID: 12, Cmd: "print", Session: sess, Var: "x"},
 			{ID: 13, Cmd: "info", Session: sess},
@@ -191,10 +194,10 @@ func TestSpillRestartTranscript(t *testing.T) {
 			t.Fatalf("compile = %+v", c[0])
 		}
 		o := runTranscript(t, s, []server.Request{{ID: 2, Cmd: "open-session", Artifact: c[0].Artifact}})
-		if o[0].Session == "" {
+		if o[0].Session == "" || o[0].Handle == "" {
 			t.Fatalf("open = %+v", o[0])
 		}
-		return c[0].Artifact, c[0].Cached, runTranscript(t, s, script(c[0].Artifact, o[0].Session))
+		return c[0].Artifact, c[0].Cached, runTranscript(t, s, script(o[0].Session, o[0].Handle))
 	}
 
 	s1 := server.New(server.Options{SpillDir: dir})
@@ -252,17 +255,17 @@ func TestBatchMatchesSerial(t *testing.T) {
 		{ID: 2, Cmd: "open-session", Artifact: art},
 		{ID: 3, Cmd: "open-session", Artifact: art},
 	})
-	serialSess, batchSess := resps[0].Session, resps[1].Session
-	if serialSess == "" || batchSess == "" {
+	serialSess, batchSess := resps[0], resps[1]
+	if serialSess.Session == "" || batchSess.Session == "" {
 		t.Fatalf("open-session = %+v", resps)
 	}
 
-	script := func(sess string) []server.Request {
+	script := func(o server.Response) []server.Request {
 		return []server.Request{
-			{ID: 10, Cmd: "break", Session: sess, Func: "g", Stmt: &stmt},
-			{ID: 11, Cmd: "continue", Session: sess},
-			{ID: 12, Cmd: "print", Session: sess, Var: "x"},
-			{ID: 13, Cmd: "info", Session: sess},
+			{ID: 10, Cmd: "break", Session: o.Session, Handle: o.Handle, Func: "g", Stmt: &stmt},
+			{ID: 11, Cmd: "continue", Session: o.Session},
+			{ID: 12, Cmd: "print", Session: o.Session, Var: "x"},
+			{ID: 13, Cmd: "info", Session: o.Session},
 		}
 	}
 	serial := runTranscript(t, s, script(serialSess))
@@ -301,12 +304,12 @@ func TestBatchErrorIsolation(t *testing.T) {
 	})
 	art := resps[0].Artifact
 	resps = runTranscript(t, s, []server.Request{{ID: 2, Cmd: "open-session", Artifact: art}})
-	sess := resps[0].Session
+	sess, handle := resps[0].Session, resps[0].Handle
 
 	stmt := 1
 	resps = runTranscript(t, s, []server.Request{
 		{ID: 3, Cmd: "batch", Reqs: []server.Request{
-			{ID: 30, Cmd: "break", Session: sess, Func: "g", Stmt: &stmt},
+			{ID: 30, Cmd: "break", Session: sess, Handle: handle, Func: "g", Stmt: &stmt},
 			{ID: 31, Cmd: "print", Session: sess, Var: "x"}, // not stopped yet
 			{ID: 32, Cmd: "frobnicate"},                     // unknown command
 			{ID: 33, Cmd: "batch"},                          // nesting rejected
@@ -347,6 +350,116 @@ func TestBatchErrorIsolation(t *testing.T) {
 	}
 }
 
+// TestAuthReconnectTranscript is the hardening golden test at the
+// daemon level: a token-protected server refuses unauthenticated and
+// wrongly-authenticated commands, admits an authenticated connection,
+// and — after that connection drops mid-session — lets a fresh
+// connection attach with the session handle and resume at a stop whose
+// `where` response is byte-identical to the pre-drop one.
+func TestAuthReconnectTranscript(t *testing.T) {
+	s := server.New(server.Options{AuthToken: "hunter2"})
+	defer s.Close()
+	stmt := 1
+
+	// Connection 1: no token. Only stats is served.
+	resps := runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "stats"},
+		{ID: 2, Cmd: "compile", Name: "fig3.mc", Src: prog},
+		{ID: 3, Cmd: "auth", Token: "wrong"},
+		{ID: 4, Cmd: "compile", Name: "fig3.mc", Src: prog},
+	})
+	if !resps[0].OK {
+		t.Fatalf("unauthenticated stats = %+v", resps[0])
+	}
+	if resps[1].OK || resps[1].Error.Code != server.CodeAuthRequired {
+		t.Fatalf("unauthenticated compile = %+v, want %s", resps[1], server.CodeAuthRequired)
+	}
+	if resps[2].OK || resps[2].Error.Code != server.CodeAuthFailed {
+		t.Fatalf("wrong auth = %+v, want %s", resps[2], server.CodeAuthFailed)
+	}
+	if resps[3].OK || resps[3].Error.Code != server.CodeAuthRequired {
+		t.Fatalf("compile after failed auth = %+v, want %s", resps[3], server.CodeAuthRequired)
+	}
+
+	// Connection 2: auth, compile, open, run to the breakpoint, record
+	// where — then the connection ends (drops) with the session parked.
+	resps = runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "auth", Token: "hunter2"},
+		{ID: 2, Cmd: "compile", Name: "fig3.mc", Src: prog},
+	})
+	if !resps[0].OK || !resps[1].OK {
+		t.Fatalf("auth+compile = %+v", resps)
+	}
+	art := resps[1].Artifact
+	resps = runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "auth", Token: "hunter2"},
+		{ID: 2, Cmd: "open-session", Artifact: art},
+	})
+	sess, handle := resps[1].Session, resps[1].Handle
+	if sess == "" || handle == "" {
+		t.Fatalf("open-session = %+v", resps[1])
+	}
+	resps = runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "auth", Token: "hunter2"},
+		{ID: 2, Cmd: "break", Session: sess, Handle: handle, Func: "g", Stmt: &stmt},
+		{ID: 3, Cmd: "continue", Session: sess},
+		{ID: 9, Cmd: "where", Session: sess},
+	})
+	if !resps[2].OK || resps[2].Stop == nil {
+		t.Fatalf("continue = %+v", resps[2])
+	}
+	whereBefore, err := json.Marshal(&resps[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Connection 3: authenticated but without the handle — the detached
+	// session is not claimable by session id alone.
+	resps = runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "auth", Token: "hunter2"},
+		{ID: 2, Cmd: "where", Session: sess},
+		{ID: 3, Cmd: "attach", Session: sess, Handle: "0123456789abcdef0123456789abcdef"},
+	})
+	if resps[1].OK || resps[1].Error.Code != server.CodeNotOwner {
+		t.Fatalf("where without handle = %+v, want %s", resps[1], server.CodeNotOwner)
+	}
+	if resps[2].OK || resps[2].Error.Code != server.CodeNotOwner {
+		t.Fatalf("attach with forged handle = %+v, want %s", resps[2], server.CodeNotOwner)
+	}
+
+	// Connection 4: attach with the real handle and re-issue `where`
+	// under the same request id — the response must be byte-identical to
+	// the pre-drop transcript line, and the session must still execute.
+	resps = runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "auth", Token: "hunter2"},
+		{ID: 5, Cmd: "attach", Session: sess, Handle: handle},
+		{ID: 9, Cmd: "where", Session: sess},
+		{ID: 7, Cmd: "continue", Session: sess},
+		{ID: 8, Cmd: "close", Session: sess},
+	})
+	if !resps[1].OK || resps[1].Stop == nil {
+		t.Fatalf("attach = %+v", resps[1])
+	}
+	whereAfter, err := json.Marshal(&resps[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(whereBefore) != string(whereAfter) {
+		t.Errorf("where differs across reconnect:\nbefore: %s\nafter:  %s", whereBefore, whereAfter)
+	}
+	if !resps[3].OK || !resps[3].Exited {
+		t.Fatalf("continue after reconnect = %+v", resps[3])
+	}
+	if !resps[4].OK {
+		t.Fatalf("close = %+v", resps[4])
+	}
+
+	st := runTranscript(t, s, []server.Request{{ID: 1, Cmd: "stats"}})[0].Stats
+	if st.AuthFailures < 1 || st.ConnsTotal < 6 || st.SessionsActive != 0 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
 // TestMalformedLine checks the bad-request path of the wire loop.
 func TestMalformedLine(t *testing.T) {
 	s := server.New(server.Options{})
@@ -377,9 +490,9 @@ func TestStdinSessionEndToEnd(t *testing.T) {
 	resps = runTranscript(t, s, []server.Request{
 		{ID: 2, Cmd: "open-session", Artifact: resps[0].Artifact},
 	})
-	sess := resps[0].Session
+	sess, handle := resps[0].Session, resps[0].Handle
 	resps = runTranscript(t, s, []server.Request{
-		{ID: 3, Cmd: "break", Session: sess, Func: "compress", Stmt: &stmt},
+		{ID: 3, Cmd: "break", Session: sess, Handle: handle, Func: "compress", Stmt: &stmt},
 		{ID: 4, Cmd: "continue", Session: sess},
 		{ID: 5, Cmd: "info", Session: sess},
 		{ID: 6, Cmd: "close", Session: sess},

@@ -3,12 +3,16 @@
 // multiplexing any number of concurrent debug sessions over a shared
 // compiled-artifact cache. One request per line, one response per line,
 // answered in order per connection; separate connections are served
-// concurrently and see the same artifact and session tables.
+// concurrently and see the same artifact table, but every session is
+// owned by the connection that opened (or attached) it.
 //
 // Commands:
 //
+//	auth         {token}                            -> {}
 //	compile      {name, src | workload, config?}    -> {artifact, cached, funcs}
-//	open-session {artifact}                         -> {session}
+//	open-session {artifact}                         -> {session, handle}
+//	attach       {session, handle}                  -> {session, stop | exited}
+//	detach       {session}                          -> {}
 //	break        {session, line | func+stmt}        -> {stop}
 //	continue     {session}                          -> {stop | exited, output}
 //	step         {session}                          -> {stop | exited, output}
@@ -18,6 +22,22 @@
 //	close        {session}                          -> {}
 //	stats        {}                                 -> {stats}
 //	batch        {reqs: [...]}                      -> {results: [...]}
+//
+// Authentication: when the server is started with an auth token,
+// unauthenticated connections may issue only auth and stats; everything
+// else answers auth-required. A connection authenticates once with the
+// auth command, or per request by carrying the token in the request.
+//
+// Session ownership: open-session returns an unguessable session id plus
+// a secret handle. The session belongs to the connection that opened it;
+// commands on it from any other connection answer not-owner unless they
+// present the handle, which — capability-style — transfers ownership to
+// the presenting connection (that is also what the explicit attach
+// command does, answering with the current stop so a reconnecting client
+// can verify it resumed in place). When a connection drops, its sessions
+// are detached, not destroyed: they keep their state and can be attached
+// by a later connection with the handle until the idle-session reaper
+// collects them.
 //
 // batch carries up to MaxBatch sub-commands (any of the above except a
 // nested batch) over any number of sessions and answers them in order in
@@ -32,6 +52,9 @@ type Request struct {
 	ID  int64  `json:"id,omitempty"`
 	Cmd string `json:"cmd"`
 
+	// auth (or any request, for per-request authentication)
+	Token string `json:"token,omitempty"`
+
 	// compile
 	Name     string      `json:"name,omitempty"`
 	Src      string      `json:"src,omitempty"`
@@ -43,10 +66,14 @@ type Request struct {
 
 	// session commands
 	Session string `json:"session,omitempty"`
-	Func    string `json:"func,omitempty"`
-	Stmt    *int   `json:"stmt,omitempty"`
-	Line    int    `json:"line,omitempty"`
-	Var     string `json:"var,omitempty"`
+	// Handle is the session's secret capability, required by attach and
+	// accepted on any session command to (re)claim a session this
+	// connection does not own.
+	Handle string `json:"handle,omitempty"`
+	Func   string `json:"func,omitempty"`
+	Stmt   *int   `json:"stmt,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Var    string `json:"var,omitempty"`
 
 	// batch
 	Reqs []Request `json:"reqs,omitempty"`
@@ -54,6 +81,11 @@ type Request struct {
 
 // MaxBatch caps the number of sub-commands one batch request may carry.
 const MaxBatch = 1024
+
+// MaxLine caps one request line on the wire. A longer line answers
+// bad-request and closes that connection (other connections are
+// unaffected).
+const MaxLine = 16 * 1024 * 1024
 
 // ConfigSpec selects the pipeline configuration over the wire. The zero
 // value (or a nil *ConfigSpec) means full optimization: O2 with register
@@ -75,10 +107,14 @@ type Response struct {
 	Cached   bool   `json:"cached,omitempty"`
 	Funcs    int    `json:"funcs,omitempty"`
 
-	// open-session
+	// open-session / attach
 	Session string `json:"session,omitempty"`
+	// Handle is the session's secret capability, returned once by
+	// open-session. Anyone presenting it may attach the session, so
+	// clients should treat it like a password.
+	Handle string `json:"handle,omitempty"`
 
-	// break / continue / step / where
+	// break / continue / step / where / attach
 	Stop   *StopInfo `json:"stop,omitempty"`
 	Exited bool      `json:"exited,omitempty"`
 	Output string    `json:"output,omitempty"`
@@ -118,9 +154,12 @@ type ProtoError struct {
 // Protocol error codes.
 const (
 	CodeBadRequest     = "bad-request"
+	CodeAuthRequired   = "auth-required"
+	CodeAuthFailed     = "auth-failed"
 	CodeCompileError   = "compile-error"
 	CodeNoSuchArtifact = "no-such-artifact"
 	CodeNoSuchSession  = "no-such-session"
+	CodeNotOwner       = "not-owner"
 	CodeSessionLimit   = "session-limit"
 	CodeNoSuchLine     = "no-such-line"
 	CodeNoSuchFunc     = "no-such-func"
@@ -128,6 +167,7 @@ const (
 	CodeNotStopped     = "not-stopped"
 	CodeNoSuchVar      = "no-such-var"
 	CodeBudget         = "budget-exceeded"
+	CodeShuttingDown   = "shutting-down"
 	CodeInternal       = "internal"
 )
 
@@ -136,9 +176,14 @@ const (
 // artifact store; cache_memory_bytes includes the accounted cost of built
 // analyses (analysis_bytes is the analyses' share).
 type Stats struct {
-	SessionsActive int64 `json:"sessions_active"`
-	SessionsOpened int64 `json:"sessions_opened"`
-	SessionsReaped int64 `json:"sessions_reaped"`
+	SessionsActive   int64 `json:"sessions_active"`
+	SessionsDetached int64 `json:"sessions_detached"`
+	SessionsOpened   int64 `json:"sessions_opened"`
+	SessionsReaped   int64 `json:"sessions_reaped"`
+
+	ConnsActive  int64 `json:"conns_active"`
+	ConnsTotal   int64 `json:"conns_total"`
+	AuthFailures int64 `json:"auth_failures"`
 
 	CacheHits         int64 `json:"cache_hits"`
 	CacheMisses       int64 `json:"cache_misses"`

@@ -23,6 +23,10 @@ import (
 // Options tunes the service's robustness rails. The zero value selects
 // the defaults below.
 type Options struct {
+	// AuthToken is the shared secret clients must present (auth command or
+	// per-request token field) before issuing anything but auth/stats.
+	// Empty disables authentication: every connection is trusted.
+	AuthToken string
 	// CacheSize bounds the compiled-artifact store (artifacts); <= 0 means
 	// DefaultCacheSize.
 	CacheSize int
@@ -49,12 +53,16 @@ type Options struct {
 	AnalysisWorkers int
 	// SessionTTL reaps sessions idle for longer than this (their slot is
 	// freed and later commands get no-such-session); <= 0 disables
-	// reaping. Sessions that outlive a dropped connection are otherwise
-	// never garbage-collected.
+	// reaping. Detached sessions — whose connection dropped — are
+	// otherwise never garbage-collected.
 	SessionTTL time.Duration
 	// ReapInterval is how often the reaper scans; <= 0 means
 	// min(SessionTTL/4, DefaultReapInterval).
 	ReapInterval time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight requests to
+	// finish before force-closing the remaining connections; <= 0 means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
 }
 
 // Defaults for Options.
@@ -64,6 +72,7 @@ const (
 	DefaultMaxSessions  = 64
 	DefaultStepBudget   = int64(500_000_000)
 	DefaultReapInterval = time.Minute
+	DefaultDrainTimeout = 5 * time.Second
 )
 
 // Artifact is one compiled program plus its shared analysis set. Every
@@ -71,8 +80,17 @@ const (
 type Artifact = artstore.Artifact
 
 type session struct {
-	id  string
-	art *Artifact
+	id     string
+	handle string // secret attach capability (crypto/rand hex)
+	art    *Artifact
+
+	// owner is the id of the connection the session is bound to, or 0
+	// when detached (its connection dropped, or it was opened through the
+	// trusted in-process Handle surface). Guarded by Server.mu.
+	owner int64
+	// inflight counts requests currently executing against this session;
+	// the reaper never deletes a pinned session. Guarded by Server.mu.
+	inflight int
 
 	lastActive atomic.Int64 // unix nanos of the latest command
 
@@ -92,21 +110,40 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
-	nextSess int64
+
+	// local is the trusted pseudo-connection behind the in-process Handle
+	// surface: pre-authenticated, exempt from ownership checks, and never
+	// an owner itself.
+	local    *connState
+	nextConn atomic.Int64
+
+	// Shutdown and drain state. stateMu guards everything below it.
+	stateMu       sync.Mutex
+	draining      bool
+	inflight      int
+	drained       chan struct{} // closed when draining && inflight == 0
+	drainedClosed bool
+	listeners     map[net.Listener]struct{}
+	conns         map[net.Conn]struct{}
+	connWG        sync.WaitGroup
 
 	sessionsOpened atomic.Int64
 	sessionsReaped atomic.Int64
 	cyclesExecuted atomic.Int64
 	requests       atomic.Int64
 	panics         atomic.Int64
+	connsActive    atomic.Int64
+	connsTotal     atomic.Int64
+	authFailures   atomic.Int64
 
 	closeOnce sync.Once
 	reapStop  chan struct{}
 	reapDone  chan struct{}
 }
 
-// New creates a service with the given options. Call Close to stop the
-// idle-session reaper and flush the artifact store's disk tier.
+// New creates a service with the given options. Call Close to stop
+// accepting connections, drain in-flight requests, stop the idle-session
+// reaper, and flush the artifact store's disk tier.
 func New(opts Options) *Server {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = DefaultCacheSize
@@ -126,6 +163,9 @@ func New(opts Options) *Server {
 			opts.ReapInterval = opts.SessionTTL / 4
 		}
 	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
+	}
 	s := &Server{
 		opts: opts,
 		store: artstore.New(artstore.Config{
@@ -134,9 +174,13 @@ func New(opts Options) *Server {
 			MemoryBudget: opts.MemoryBudget,
 			SpillDir:     opts.SpillDir,
 		}),
-		sessions: map[string]*session{},
-		reapStop: make(chan struct{}),
-		reapDone: make(chan struct{}),
+		sessions:  map[string]*session{},
+		local:     &connState{trusted: true, authed: true},
+		drained:   make(chan struct{}),
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
+		reapStop:  make(chan struct{}),
+		reapDone:  make(chan struct{}),
 	}
 	if opts.SessionTTL > 0 {
 		go s.reapLoop()
@@ -146,12 +190,68 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Close stops the idle-session reaper and flushes the resident artifact
-// set to the disk tier (if configured), so a restart keeps the warm set.
-// The server still answers requests after Close; only the background
-// machinery stops.
+// beginRequest admits one request into the drain-tracked in-flight set.
+// It fails once Close has started draining.
+func (s *Server) beginRequest() bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.stateMu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 && !s.drainedClosed {
+		s.drainedClosed = true
+		close(s.drained)
+	}
+	s.stateMu.Unlock()
+}
+
+// Close shuts the service down: it stops accepting new connections and
+// requests, drains in-flight requests (bounded by DrainTimeout), force-
+// closes the remaining tracked connections, stops the idle-session
+// reaper, and flushes the resident artifact set to the disk tier (if
+// configured) so a restart keeps the warm set. Requests arriving during
+// or after Close answer shutting-down.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		s.stateMu.Lock()
+		s.draining = true
+		for l := range s.listeners {
+			l.Close()
+		}
+		if s.inflight == 0 && !s.drainedClosed {
+			s.drainedClosed = true
+			close(s.drained)
+		}
+		s.stateMu.Unlock()
+
+		select {
+		case <-s.drained:
+		case <-time.After(s.opts.DrainTimeout):
+		}
+
+		// Unblock connection readers so their goroutines exit.
+		s.stateMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.stateMu.Unlock()
+		done := make(chan struct{})
+		go func() {
+			s.connWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(s.opts.DrainTimeout):
+		}
+
 		close(s.reapStop)
 		<-s.reapDone
 		s.store.Flush()
@@ -174,24 +274,30 @@ func (s *Server) reapLoop() {
 }
 
 // ReapIdleSessions closes every session idle for longer than SessionTTL
-// and returns how many were reaped. It is a no-op when reaping is
-// disabled.
+// and returns how many were reaped. Sessions with a request in flight
+// are pinned: a long-running continue under a short TTL keeps its
+// session (every request re-arms lastActive when it completes). Reaped
+// sessions have their outstanding VM cycles credited to the
+// cycles_executed metric. It is a no-op when reaping is disabled.
 func (s *Server) ReapIdleSessions() int {
 	if s.opts.SessionTTL <= 0 {
 		return 0
 	}
 	cutoff := time.Now().Add(-s.opts.SessionTTL).UnixNano()
 	s.mu.Lock()
-	var victims []string
+	var victims []*session
 	for id, sess := range s.sessions {
-		if sess.lastActive.Load() < cutoff {
-			victims = append(victims, id)
+		if sess.inflight == 0 && sess.lastActive.Load() < cutoff {
+			victims = append(victims, sess)
+			delete(s.sessions, id)
 		}
 	}
-	for _, id := range victims {
-		delete(s.sessions, id)
-	}
 	s.mu.Unlock()
+	for _, sess := range victims {
+		sess.mu.Lock()
+		s.creditCycles(sess)
+		sess.mu.Unlock()
+	}
 	if n := len(victims); n > 0 {
 		s.sessionsReaped.Add(int64(n))
 		return n
@@ -200,10 +306,19 @@ func (s *Server) ReapIdleSessions() int {
 }
 
 // Serve answers requests from r on w, one JSON object per line, until r
-// is exhausted. Responses are written in request order.
+// is exhausted. Responses are written in request order. Each Serve call
+// is one connection: it authenticates independently and owns the
+// sessions it opens; when it returns, those sessions are detached (kept
+// alive for a later attach, until the reaper collects them).
 func (s *Server) Serve(r io.Reader, w io.Writer) error {
+	c := s.newConn()
+	s.connsActive.Add(1)
+	s.connsTotal.Add(1)
+	defer s.connsActive.Add(-1)
+	defer s.detachAll(c)
+
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLine)
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for sc.Scan() {
@@ -216,7 +331,7 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = errResp(0, CodeBadRequest, fmt.Sprintf("malformed request: %v", err))
 		} else {
-			resp = s.Handle(&req)
+			resp = s.handleAs(c, &req)
 		}
 		if err := enc.Encode(resp); err != nil {
 			return err
@@ -225,13 +340,39 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		// An oversized line kills only this connection, and tells it why
+		// first. Other connections (and the stdio daemon) are unaffected.
+		if errors.Is(err, bufio.ErrTooLong) {
+			resp := errResp(0, CodeBadRequest,
+				fmt.Sprintf("request line exceeds %d bytes; closing connection", MaxLine))
+			if eerr := enc.Encode(resp); eerr == nil {
+				bw.Flush()
+			}
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // ListenAndServe accepts connections on l and serves each concurrently
 // against the shared artifact store and session table. It returns when
-// the listener is closed.
+// the listener is closed (Close closes every tracked listener).
 func (s *Server) ListenAndServe(l net.Listener) error {
+	s.stateMu.Lock()
+	if s.draining {
+		s.stateMu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listeners[l] = struct{}{}
+	s.stateMu.Unlock()
+	defer func() {
+		s.stateMu.Lock()
+		delete(s.listeners, l)
+		s.stateMu.Unlock()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -240,17 +381,51 @@ func (s *Server) ListenAndServe(l net.Listener) error {
 			}
 			return err
 		}
-		go func() {
+		s.stateMu.Lock()
+		if s.draining {
+			s.stateMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.stateMu.Unlock()
+		go func(conn net.Conn) {
+			defer s.connWG.Done()
+			defer func() {
+				s.stateMu.Lock()
+				delete(s.conns, conn)
+				s.stateMu.Unlock()
+			}()
 			defer conn.Close()
 			_ = s.Serve(conn, conn)
-		}()
+		}(conn)
 	}
 }
 
-// Handle answers one request. Panics in command handlers are recovered
-// and reported as internal protocol errors, so one bad request cannot
-// take down the service.
-func (s *Server) Handle(req *Request) (resp *Response) {
+// Handle answers one request on the trusted in-process connection: it is
+// pre-authenticated and exempt from session-ownership checks, which is
+// what embedding Go programs (and the tests) want. Wire connections go
+// through Serve instead.
+func (s *Server) Handle(req *Request) *Response {
+	return s.handleAs(s.local, req)
+}
+
+// handleAs admits, authenticates, and answers one request for connection
+// c. Panics in command handlers are recovered and reported as internal
+// protocol errors, so one bad request cannot take down the service.
+func (s *Server) handleAs(c *connState, req *Request) (resp *Response) {
+	if !s.beginRequest() {
+		return errResp(req.ID, CodeShuttingDown, "server is shutting down")
+	}
+	defer s.endRequest()
+	return s.answer(c, req)
+}
+
+// answer dispatches one (admitted) request. Batch sub-commands re-enter
+// here so each gets its own panic recovery, auth check, and error
+// mapping without re-entering the drain gate.
+func (s *Server) answer(c *connState, req *Request) (resp *Response) {
 	s.requests.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
@@ -259,29 +434,51 @@ func (s *Server) Handle(req *Request) (resp *Response) {
 				fmt.Sprintf("panic in %q: %v\n%s", req.Cmd, r, debug.Stack()))
 		}
 	}()
+	// auth and stats are the only commands an unauthenticated connection
+	// may issue; any other command may authenticate in-line by carrying
+	// the token.
+	switch req.Cmd {
+	case "auth":
+		return s.handleAuth(c, req)
+	case "stats":
+		st := s.Snapshot()
+		return &Response{ID: req.ID, OK: true, Stats: &st}
+	}
+	if !c.authed {
+		if req.Token == "" {
+			return errResp(req.ID, CodeAuthRequired,
+				"authentication required (use the auth command or a per-request token)")
+		}
+		if !s.tokenOK(req.Token) {
+			s.authFailures.Add(1)
+			return errResp(req.ID, CodeAuthFailed, "invalid auth token")
+		}
+		c.authed = true
+	}
 	switch req.Cmd {
 	case "compile":
 		return s.handleCompile(req)
 	case "open-session":
-		return s.handleOpen(req)
+		return s.handleOpen(c, req)
+	case "attach":
+		return s.handleAttach(c, req)
+	case "detach":
+		return s.handleDetach(c, req)
 	case "break", "continue", "step", "print", "info", "where", "close":
-		return s.handleSession(req)
-	case "stats":
-		st := s.Snapshot()
-		return &Response{ID: req.ID, OK: true, Stats: &st}
+		return s.handleSession(c, req)
 	case "batch":
-		return s.handleBatch(req)
+		return s.handleBatch(c, req)
 	default:
 		return errResp(req.ID, CodeBadRequest, fmt.Sprintf("unknown command %q", req.Cmd))
 	}
 }
 
 // handleBatch answers every sub-command in order and returns the results
-// in one response. Each sub-command goes through Handle, so it gets its
+// in one response. Each sub-command goes through answer, so it gets its
 // own panic recovery and error mapping: one failing sub-command yields an
 // error result in its slot without failing the batch. Nested batches are
 // rejected per slot.
-func (s *Server) handleBatch(req *Request) *Response {
+func (s *Server) handleBatch(c *connState, req *Request) *Response {
 	if len(req.Reqs) == 0 {
 		return errResp(req.ID, CodeBadRequest, "batch needs a non-empty reqs array")
 	}
@@ -296,7 +493,7 @@ func (s *Server) handleBatch(req *Request) *Response {
 			results = append(results, *errResp(sub.ID, CodeBadRequest, "batch cannot be nested"))
 			continue
 		}
-		results = append(results, *s.Handle(sub))
+		results = append(results, *s.answer(c, sub))
 	}
 	return &Response{ID: req.ID, OK: true, Results: results}
 }
@@ -362,7 +559,7 @@ func (s *Server) handleCompile(req *Request) *Response {
 	return &Response{ID: req.ID, OK: true, Artifact: art.ID(), Cached: hit, Funcs: len(art.Res.Mach.Funcs)}
 }
 
-func (s *Server) handleOpen(req *Request) *Response {
+func (s *Server) handleOpen(c *connState, req *Request) *Response {
 	art, ok := s.store.Lookup(req.Artifact)
 	if !ok {
 		return errResp(req.ID, CodeNoSuchArtifact, fmt.Sprintf("no artifact %q (compile first)", req.Artifact))
@@ -379,22 +576,98 @@ func (s *Server) handleOpen(req *Request) *Response {
 		return errResp(req.ID, CodeSessionLimit,
 			fmt.Sprintf("session limit reached (%d open)", s.opts.MaxSessions))
 	}
-	s.nextSess++
-	sess := &session{id: fmt.Sprintf("s%d", s.nextSess), art: art, dbg: dbg}
+	sess := &session{id: s.newSessionIDLocked(), handle: randHex(handleBytes), art: art, dbg: dbg}
 	sess.touch()
 	s.sessions[sess.id] = sess
+	if !c.trusted {
+		s.adoptLocked(c, sess)
+	}
 	s.mu.Unlock()
 	s.sessionsOpened.Add(1)
-	return &Response{ID: req.ID, OK: true, Session: sess.id, Artifact: art.ID()}
+	return &Response{ID: req.ID, OK: true, Session: sess.id, Handle: sess.handle, Artifact: art.ID()}
 }
 
-func (s *Server) handleSession(req *Request) *Response {
+// handleAttach binds an existing session to this connection. The handle
+// is the capability: presenting it proves the right to the session, so
+// attach succeeds whether the session is detached (its connection
+// dropped) or still bound elsewhere — that is how a client whose TCP
+// connection half-died reclaims its session instantly. The response
+// reports the current position, exactly like where, so a reconnecting
+// client can verify it resumed in place.
+func (s *Server) handleAttach(c *connState, req *Request) *Response {
 	s.mu.Lock()
 	sess, ok := s.sessions[req.Session]
+	if !ok {
+		s.mu.Unlock()
+		return errResp(req.ID, CodeNoSuchSession, fmt.Sprintf("no session %q", req.Session))
+	}
+	if !handleOK(sess, req.Handle) {
+		s.mu.Unlock()
+		return errResp(req.ID, CodeNotOwner, fmt.Sprintf("wrong handle for session %q", req.Session))
+	}
+	if !c.trusted {
+		s.adoptLocked(c, sess)
+	}
+	sess.inflight++
 	s.mu.Unlock()
+	defer s.unpin(sess)
+
+	sess.touch()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	resp := &Response{ID: req.ID, OK: true, Session: sess.id, Artifact: sess.art.ID()}
+	if bp := sess.dbg.Stopped(); bp != nil {
+		resp.Stop = stopOf(bp)
+	} else {
+		resp.Exited = sess.dbg.Halted()
+	}
+	return resp
+}
+
+// handleDetach voluntarily releases this connection's ownership, leaving
+// the session alive for a later attach (until the reaper collects it).
+func (s *Server) handleDetach(c *connState, req *Request) *Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[req.Session]
 	if !ok {
 		return errResp(req.ID, CodeNoSuchSession, fmt.Sprintf("no session %q", req.Session))
 	}
+	if !c.trusted && sess.owner != c.id && !handleOK(sess, req.Handle) {
+		return errResp(req.ID, CodeNotOwner, s.denialMsg(sess))
+	}
+	sess.owner = 0
+	delete(c.owned, sess.id)
+	sess.touch()
+	return &Response{ID: req.ID, OK: true, Session: sess.id}
+}
+
+func (s *Server) handleSession(c *connState, req *Request) *Response {
+	s.mu.Lock()
+	sess, ok := s.sessions[req.Session]
+	if !ok {
+		s.mu.Unlock()
+		return errResp(req.ID, CodeNoSuchSession, fmt.Sprintf("no session %q", req.Session))
+	}
+	if !c.trusted && sess.owner != c.id {
+		// Not ours. The handle is the capability: presenting it attaches
+		// the session to this connection; without it the command is
+		// denied, whoever may own the session now.
+		if !handleOK(sess, req.Handle) {
+			s.mu.Unlock()
+			return errResp(req.ID, CodeNotOwner, s.denialMsg(sess))
+		}
+		s.adoptLocked(c, sess)
+	}
+	// Pin the session for the duration of the command so the reaper
+	// cannot delete it mid-execution; touch again on the way out so the
+	// idle clock starts when a long continue ends, not when it began.
+	sess.inflight++
+	s.mu.Unlock()
+	defer func() {
+		sess.touch()
+		s.unpin(sess)
+	}()
 	sess.touch()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -459,17 +732,38 @@ func (s *Server) handleSession(req *Request) *Response {
 		return &Response{ID: req.ID, OK: true, Exited: sess.dbg.Halted()}
 
 	case "close":
+		s.creditCycles(sess)
 		s.mu.Lock()
 		delete(s.sessions, sess.id)
+		delete(c.owned, sess.id)
 		s.mu.Unlock()
 		return &Response{ID: req.ID, OK: true, Output: sess.dbg.Output()}
 	}
 	return errResp(req.ID, CodeBadRequest, fmt.Sprintf("unknown command %q", req.Cmd))
 }
 
+// unpin releases a session's in-flight pin.
+func (s *Server) unpin(sess *session) {
+	s.mu.Lock()
+	sess.inflight--
+	s.mu.Unlock()
+}
+
+// denialMsg distinguishes the two not-owner cases for humans; the code
+// is the same either way. Called with s.mu held.
+func (s *Server) denialMsg(sess *session) string {
+	if sess.owner == 0 {
+		return fmt.Sprintf("session %q is detached; present its handle to attach", sess.id)
+	}
+	return fmt.Sprintf("session %q is owned by another connection; present its handle to attach", sess.id)
+}
+
 // creditCycles folds the session VM's cycle progress into the service
 // metric. Called with sess.mu held.
 func (s *Server) creditCycles(sess *session) {
+	if sess.dbg == nil {
+		return
+	}
 	now := sess.dbg.VM.Cycles
 	s.cyclesExecuted.Add(now - sess.cycles)
 	sess.cycles = now
@@ -519,11 +813,21 @@ func (s *Server) Snapshot() Stats {
 	})
 	s.mu.Lock()
 	active := int64(len(s.sessions))
+	var detached int64
+	for _, sess := range s.sessions {
+		if sess.owner == 0 {
+			detached++
+		}
+	}
 	s.mu.Unlock()
 	return Stats{
 		SessionsActive:    active,
+		SessionsDetached:  detached,
 		SessionsOpened:    s.sessionsOpened.Load(),
 		SessionsReaped:    s.sessionsReaped.Load(),
+		ConnsActive:       s.connsActive.Load(),
+		ConnsTotal:        s.connsTotal.Load(),
+		AuthFailures:      s.authFailures.Load(),
 		CacheHits:         cs.Hits,
 		CacheMisses:       cs.Misses,
 		CacheEvictions:    cs.Evictions,

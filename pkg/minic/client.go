@@ -1,0 +1,299 @@
+package minic
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// This file is the remote half of the public API: a client for the mcd
+// debug-session daemon. It speaks the line-delimited JSON protocol of
+// internal/server over TCP or unix sockets, authenticates with the
+// daemon's shared secret, and models the capability-style session
+// ownership the server enforces: opening a session yields an id plus a
+// secret handle, and a client that reconnects (same process or a new
+// one) resumes its session by presenting the handle to Attach.
+
+// RemoteError is a typed protocol error from a remote daemon. Code is
+// one of the stable server codes ("not-owner", "auth-required", ...).
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("minic: remote %s: %s", e.Code, e.Message) }
+
+// Wire-shape re-exports, so client code needs no internal imports.
+type (
+	// RemoteStop is a stop location reported by a remote session.
+	RemoteStop = server.StopInfo
+	// RemoteVar is one classified variable from a remote print/info.
+	RemoteVar = server.VarInfo
+	// RemoteStats is the daemon's metrics snapshot.
+	RemoteStats = server.Stats
+)
+
+// DialOption configures Dial.
+type DialOption func(*dialSettings)
+
+type dialSettings struct {
+	token   string
+	timeout time.Duration
+}
+
+// WithAuthToken presents the daemon's shared secret (its -auth-token)
+// during Dial. Without it, a token-protected daemon answers everything
+// but stats with auth-required.
+func WithAuthToken(token string) DialOption {
+	return func(ds *dialSettings) { ds.token = token }
+}
+
+// WithDialTimeout bounds the connection attempt (default 10s).
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(ds *dialSettings) { ds.timeout = d }
+}
+
+// Client is one connection to a remote mcd daemon. It is safe for
+// concurrent use; requests are serialized on the wire, matching the
+// protocol's one-response-per-line ordering.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+	next int64
+}
+
+// Dial connects to an mcd daemon on network ("tcp" or "unix") and
+// address, and authenticates if a token option is given (sending auth is
+// harmless on an open daemon).
+func Dial(network, addr string, opts ...DialOption) (*Client, error) {
+	ds := dialSettings{timeout: 10 * time.Second}
+	for _, o := range opts {
+		o(&ds)
+	}
+	conn, err := net.DialTimeout(network, addr, ds.timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, enc: json.NewEncoder(conn), sc: bufio.NewScanner(conn)}
+	c.sc.Buffer(make([]byte, 0, 64*1024), server.MaxLine)
+	if ds.token != "" {
+		if _, err := c.do(&server.Request{Cmd: "auth", Token: ds.token}); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// do sends one request (assigning it the next id) and decodes its
+// response, mapping protocol errors to *RemoteError.
+func (c *Client) do(req *server.Request) (*server.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req.ID = c.next
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	var resp server.Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("minic: bad response line: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("minic: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		if resp.Error == nil {
+			return nil, fmt.Errorf("minic: remote error with no detail")
+		}
+		return nil, &RemoteError{Code: resp.Error.Code, Message: resp.Error.Message}
+	}
+	return &resp, nil
+}
+
+// Close drops the connection. Sessions opened on it stay alive on the
+// daemon (detached) until reattached or reaped.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stats fetches the daemon's metrics snapshot (allowed even before
+// authentication).
+func (c *Client) Stats() (*RemoteStats, error) {
+	resp, err := c.do(&server.Request{Cmd: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// RemoteArtifact names a program compiled by the daemon.
+type RemoteArtifact struct {
+	ID     string
+	Cached bool
+	Funcs  int
+}
+
+// Compile compiles source text on the daemon (its artifact store
+// coalesces and caches) and returns the artifact id sessions open on.
+func (c *Client) Compile(name, src string) (*RemoteArtifact, error) {
+	resp, err := c.do(&server.Request{Cmd: "compile", Name: name, Src: src})
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteArtifact{ID: resp.Artifact, Cached: resp.Cached, Funcs: resp.Funcs}, nil
+}
+
+// CompileWorkload compiles one of the daemon's built-in bench workloads.
+func (c *Client) CompileWorkload(workload string) (*RemoteArtifact, error) {
+	resp, err := c.do(&server.Request{Cmd: "compile", Workload: workload})
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteArtifact{ID: resp.Artifact, Cached: resp.Cached, Funcs: resp.Funcs}, nil
+}
+
+// RemoteSession is a debug session living on the daemon. ID addresses
+// it; Handle is the secret capability that proves the right to it —
+// persist both to resume the session from another connection or process
+// via Attach, and guard the handle like a password.
+type RemoteSession struct {
+	c      *Client
+	ID     string
+	Handle string
+}
+
+// Open starts a session on a compiled artifact. The session is owned by
+// this client's connection: other connections' commands on it are
+// refused (not-owner) unless they present the handle.
+func (c *Client) Open(artifactID string) (*RemoteSession, error) {
+	resp, err := c.do(&server.Request{Cmd: "open-session", Artifact: artifactID})
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSession{c: c, ID: resp.Session, Handle: resp.Handle}, nil
+}
+
+// Attach resumes an existing session — typically one opened by a
+// previous, dropped connection — by presenting its handle, and returns
+// the stop it is still parked at (nil if it has exited or never ran).
+func (c *Client) Attach(sessionID, handle string) (*RemoteSession, *RemoteStop, error) {
+	resp, err := c.do(&server.Request{Cmd: "attach", Session: sessionID, Handle: handle})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &RemoteSession{c: c, ID: resp.Session, Handle: handle}, resp.Stop, nil
+}
+
+// Session binds an id/handle pair to this client without a round trip,
+// for callers that persisted the pair themselves. The first command
+// attaches it (the server accepts the handle on any session command).
+func (c *Client) Session(sessionID, handle string) *RemoteSession {
+	return &RemoteSession{c: c, ID: sessionID, Handle: handle}
+}
+
+// send issues one session command, always carrying the handle so the
+// command reattaches the session if this connection does not own it yet.
+func (s *RemoteSession) send(req *server.Request) (*server.Response, error) {
+	req.Session = s.ID
+	req.Handle = s.Handle
+	return s.c.do(req)
+}
+
+// BreakAtLine sets a breakpoint at the first statement on a source line.
+func (s *RemoteSession) BreakAtLine(line int) (*RemoteStop, error) {
+	resp, err := s.send(&server.Request{Cmd: "break", Line: line})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stop, nil
+}
+
+// BreakAtStmt sets a breakpoint at statement stmt of the named function.
+func (s *RemoteSession) BreakAtStmt(fn string, stmt int) (*RemoteStop, error) {
+	resp, err := s.send(&server.Request{Cmd: "break", Func: fn, Stmt: &stmt})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stop, nil
+}
+
+// Continue resumes until a breakpoint (returned) or exit (nil, with the
+// program's output).
+func (s *RemoteSession) Continue() (stop *RemoteStop, output string, err error) {
+	resp, err := s.send(&server.Request{Cmd: "continue"})
+	if err != nil {
+		return nil, "", err
+	}
+	return resp.Stop, resp.Output, nil
+}
+
+// Step advances to the next source statement (nil stop means exit).
+func (s *RemoteSession) Step() (stop *RemoteStop, output string, err error) {
+	resp, err := s.send(&server.Request{Cmd: "step"})
+	if err != nil {
+		return nil, "", err
+	}
+	return resp.Stop, resp.Output, nil
+}
+
+// Where reports the current stop, or nil if not stopped (exited reports
+// whether the program has finished).
+func (s *RemoteSession) Where() (stop *RemoteStop, exited bool, err error) {
+	resp, err := s.send(&server.Request{Cmd: "where"})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Stop, resp.Exited, nil
+}
+
+// Print reports one variable at the current stop, classification and
+// warning-annotated display included.
+func (s *RemoteSession) Print(name string) (RemoteVar, error) {
+	resp, err := s.send(&server.Request{Cmd: "print", Var: name})
+	if err != nil {
+		return RemoteVar{}, err
+	}
+	if len(resp.Vars) != 1 {
+		return RemoteVar{}, fmt.Errorf("minic: print returned %d vars", len(resp.Vars))
+	}
+	return resp.Vars[0], nil
+}
+
+// Info reports every variable in scope at the current stop.
+func (s *RemoteSession) Info() ([]RemoteVar, error) {
+	resp, err := s.send(&server.Request{Cmd: "info"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vars, nil
+}
+
+// Detach releases this connection's ownership but keeps the session
+// alive on the daemon for a later Attach.
+func (s *RemoteSession) Detach() error {
+	_, err := s.send(&server.Request{Cmd: "detach"})
+	return err
+}
+
+// Close ends the session on the daemon and returns the program's output
+// so far.
+func (s *RemoteSession) Close() (output string, err error) {
+	resp, err := s.send(&server.Request{Cmd: "close"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Output, nil
+}

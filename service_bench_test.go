@@ -98,9 +98,11 @@ func BenchmarkProtocolQueries(b *testing.B) {
 		}
 		return sb.String()
 	}
+	// Each Serve call below is its own connection, so the queries carry
+	// the session handle to reattach the trusted-opened session.
 	info := make([]server.Request, queries)
 	for i := range info {
-		info[i] = server.Request{ID: int64(i + 1), Cmd: "info", Session: sess}
+		info[i] = server.Request{ID: int64(i + 1), Cmd: "info", Session: sess, Handle: o.Handle}
 	}
 	serialInput := encode(info)
 	batchedInput := encode([]server.Request{{ID: 1, Cmd: "batch", Reqs: info}})
