@@ -15,7 +15,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
-	"repro/internal/compile"
+	"repro/pkg/minic"
 )
 
 func main() {
@@ -108,9 +108,8 @@ func printTable1() {
 func runAblation() {
 	fmt.Println("Ablation: endangered variables visible to the debugger, with vs without markers.")
 	fmt.Printf("%-10s %18s %21s\n", "Program", "with markers", "without markers")
-	cfg := compile.O2NoRegAlloc()
-	ablcfg := cfg
-	ablcfg.Opt.NoMarkers = true
+	cfg := minic.ResolveConfig(minic.WithRegAlloc(false), minic.WithSched(false))
+	ablcfg := minic.ResolveConfig(minic.WithRegAlloc(false), minic.WithSched(false), minic.WithMarkers(false))
 	for _, name := range bench.Names {
 		with, err := bench.ClassifyProgram(name, cfg)
 		check(err)

@@ -70,6 +70,7 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 0, "reap sessions idle longer than this (0 = never)")
 	budget := flag.Int64("budget", server.DefaultStepBudget, "per-session execution budget (instructions)")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	compileWorkers := flag.Int("compile-workers", 0, "per-function compile worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	s := server.New(server.Options{
@@ -83,6 +84,7 @@ func main() {
 		SessionTTL:      *sessionTTL,
 		StepBudget:      *budget,
 		AnalysisWorkers: *workers,
+		CompileWorkers:  *compileWorkers,
 	})
 
 	// Flush the warm set on SIGINT/SIGTERM so a restarted daemon with the

@@ -22,6 +22,12 @@ type Artifact struct {
 	Res      *compile.Result
 	Analyses *core.AnalysisSet
 
+	// Metrics describes the compile that produced this artifact: function
+	// count, how many back ends actually ran vs. were stitched from the
+	// per-function cache, and wall time. Zero for artifacts rehydrated from
+	// the disk tier (no compile ran).
+	Metrics compile.Metrics
+
 	id   string
 	name string
 	src  string
@@ -54,6 +60,17 @@ type Config struct {
 	// AnalysisOpts configures the classifier analyses of artifacts created
 	// by this store.
 	AnalysisOpts core.Options
+	// CompileWorkers bounds the per-function back-end concurrency of the
+	// store's compile pipeline; <= 0 means GOMAXPROCS. The bound is shared
+	// across concurrent Gets, so a burst of compiles still runs at most
+	// CompileWorkers function back ends at once.
+	CompileWorkers int
+	// FuncCacheBudget bounds the accounted bytes of the per-function
+	// incremental tier (encoded machine-code images keyed by content hash
+	// of each function's checked IR + config). 0 means a default of
+	// MemoryBudget/4 (or unbounded when MemoryBudget is unbounded);
+	// negative disables incremental reuse entirely.
+	FuncCacheBudget int64
 }
 
 // ident is the request identity: exact equality on (name, source, config).
@@ -78,6 +95,7 @@ func identHash(m ident) uint64 {
 type Store struct {
 	s    *store.Store[ident, *Artifact]
 	opts core.Options
+	pipe *compile.Pipeline
 }
 
 // codec serializes artifacts for the disk tier. Only the compile result
@@ -114,6 +132,21 @@ func (e *IdentityError) Error() string {
 // New creates an artifact store from cfg.
 func New(cfg Config) *Store {
 	st := &Store{opts: cfg.AnalysisOpts}
+	var funcs *compile.FuncCache
+	if cfg.FuncCacheBudget >= 0 {
+		budget := cfg.FuncCacheBudget
+		if budget == 0 && cfg.MemoryBudget > 0 {
+			budget = cfg.MemoryBudget / 4
+		}
+		funcs = compile.NewFuncCache(compile.FuncCacheConfig{
+			Shards:       cfg.Shards,
+			MemoryBudget: budget,
+		})
+	}
+	st.pipe = compile.NewPipeline(compile.PipelineConfig{
+		Workers: cfg.CompileWorkers,
+		Funcs:   funcs,
+	})
 	sc := store.Config[ident, *Artifact]{
 		Shards:       cfg.Shards,
 		MaxEntries:   cfg.MaxArtifacts,
@@ -153,13 +186,31 @@ func (st *Store) Get(name, src string, cfg compile.Config) (a *Artifact, hit boo
 	return st.s.Get(m,
 		func() string { return compile.KeyOf(name, src, cfg).ID() },
 		func() (*Artifact, int64, error) {
-			res, err := compile.Compile(name, src, cfg)
+			res, metrics, err := st.pipe.Compile(name, src, cfg)
 			if err != nil {
 				return nil, 0, err
 			}
-			return st.newArtifact(m, res), res.SizeBytes(), nil
+			a := st.newArtifact(m, res)
+			a.Metrics = metrics
+			return a, res.SizeBytes(), nil
 		})
 }
+
+// PipelineStats returns the store's cumulative compile-pipeline counters.
+func (st *Store) PipelineStats() compile.PipelineStats { return st.pipe.Stats() }
+
+// FuncCacheStats returns the incremental tier's store counters; ok is
+// false when incremental reuse is disabled.
+func (st *Store) FuncCacheStats() (store.Stats, bool) {
+	fc := st.pipe.FuncCache()
+	if fc == nil {
+		return store.Stats{}, false
+	}
+	return fc.Stats(), true
+}
+
+// CompileWorkers returns the pipeline's worker bound.
+func (st *Store) CompileWorkers() int { return st.pipe.Workers() }
 
 // Lookup returns the artifact with the given handle, consulting memory
 // and then the disk tier. It never compiles.

@@ -22,6 +22,11 @@ import (
 //
 // (cmcc's scheduling endangerment is handled by the companion analysis and
 // can be enabled with Sched=true.)
+//
+// Constructing a Config by hand is the internal/legacy surface; external
+// callers should use pkg/minic's functional options and, where a raw
+// Config is unavoidable (benchmark harnesses), derive it via
+// minic.ResolveConfig so option semantics stay in one place.
 type Config struct {
 	Opt      opt.Options
 	RegAlloc bool

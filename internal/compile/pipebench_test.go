@@ -1,0 +1,80 @@
+package compile_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+)
+
+// Pipeline benchmarks: cold serial vs cold parallel vs incremental
+// one-function edit, over the 8-workload bench corpus at O2. These are the
+// source of BENCH_compile.json.
+
+func compileCorpus(b *testing.B, p *compile.Pipeline) {
+	b.Helper()
+	cfg := compile.O2()
+	for _, name := range bench.Names {
+		if _, _, err := p.Compile(name, bench.MustSource(name), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileColdSerial compiles the whole corpus through the
+// pipeline with one worker and no function cache — the serial baseline.
+func BenchmarkCompileColdSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		compileCorpus(b, compile.NewPipeline(compile.PipelineConfig{Workers: 1}))
+	}
+}
+
+// BenchmarkCompileColdParallel8 compiles the whole corpus with the
+// per-function back ends fanned out over 8 workers.
+func BenchmarkCompileColdParallel8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		compileCorpus(b, compile.NewPipeline(compile.PipelineConfig{Workers: 8}))
+	}
+}
+
+// BenchmarkCompileIncrementalEdit measures the one-function-edit loop: the
+// corpus is warm in the function cache and each iteration recompiles "li"
+// with one new function appended. The benchmark fails unless exactly one
+// back end runs per edit — it enforces the incremental contract, not just
+// its speed.
+func BenchmarkCompileIncrementalEdit(b *testing.B) {
+	cfg := compile.O2()
+	pipe := compile.NewPipeline(compile.PipelineConfig{
+		Workers: 8,
+		Funcs:   compile.NewFuncCache(compile.FuncCacheConfig{Shards: 8}),
+	})
+	compileCorpus(b, pipe)
+	src := bench.MustSource("li")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edited := src + fmt.Sprintf("\nint probe(int x) { return x + %d; }\n", i)
+		_, m, err := pipe.Compile("li", edited, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.FuncsCompiled != 1 {
+			b.Fatalf("one-function edit compiled %d funcs, want 1 (reused %d of %d)",
+				m.FuncsCompiled, m.FuncsReused, m.Funcs)
+		}
+	}
+}
+
+// BenchmarkCompileWarmStitch measures a fully warm recompile (no edit):
+// every function of every workload stitched from the cache.
+func BenchmarkCompileWarmStitch(b *testing.B) {
+	pipe := compile.NewPipeline(compile.PipelineConfig{
+		Workers: 8,
+		Funcs:   compile.NewFuncCache(compile.FuncCacheConfig{Shards: 8}),
+	})
+	compileCorpus(b, pipe)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileCorpus(b, pipe)
+	}
+}

@@ -19,6 +19,18 @@ import (
 
 // Lower translates the whole program.
 func Lower(p *ir.Program) *mach.Program {
+	mp := NewProgram(p)
+	for _, f := range p.Funcs {
+		mp.Funcs = append(mp.Funcs, LowerFunc(f))
+	}
+	return mp
+}
+
+// NewProgram builds the machine program shell for p: the global data
+// layout (offsets, total size, initializers) with no functions. Callers
+// lowering functions individually — concurrently or stitched from a cache —
+// append to Funcs in IR order to obtain the same program Lower produces.
+func NewProgram(p *ir.Program) *mach.Program {
 	mp := &mach.Program{
 		Globals:    p.Globals,
 		GlobalOff:  map[*ast.Object]int64{},
@@ -34,13 +46,12 @@ func Lower(p *ir.Program) *mach.Program {
 		off += sz
 	}
 	mp.GlobalSize = off
-	for _, f := range p.Funcs {
-		mp.Funcs = append(mp.Funcs, lowerFunc(f))
-	}
 	return mp
 }
 
-func lowerFunc(f *ir.Func) *mach.Func {
+// LowerFunc performs code selection for one function. It touches only f,
+// so distinct functions may be lowered concurrently.
+func LowerFunc(f *ir.Func) *mach.Func {
 	numVars := len(f.Decl.Locals)
 	mf := &mach.Func{
 		Name:     f.Name,

@@ -47,15 +47,18 @@ func O2() Options {
 // Run applies the optimization pipeline to every function.
 func Run(p *ir.Program, o Options) {
 	for _, f := range p.Funcs {
-		runFunc(f, o)
+		RunFunc(f, o)
 	}
 }
 
-// runFunc runs the pipeline on one function. The pass order mirrors cmcc's
+// RunFunc runs the pipeline on one function. The pass order mirrors cmcc's
 // pipeline as reconstructed from the paper: propagation feeds PRE, PRE's
 // hoisted assignments can be sunk again by PDCE, and DCE performs the final
 // cleanup (including induction variables orphaned by LFTR).
-func runFunc(f *ir.Func, o Options) {
+//
+// RunFunc touches only f (and reads the shared, immutable global objects its
+// operands reference), so distinct functions may be optimized concurrently.
+func RunFunc(f *ir.Func, o Options) {
 	cleanup := func() {
 		if o.ConstFold {
 			ConstFold(f)

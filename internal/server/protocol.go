@@ -106,6 +106,13 @@ type Response struct {
 	Artifact string `json:"artifact,omitempty"`
 	Cached   bool   `json:"cached,omitempty"`
 	Funcs    int    `json:"funcs,omitempty"`
+	// FuncsCompiled/FuncsReused break Funcs down by whether the
+	// per-function back end ran or the function was stitched from the
+	// incremental cache; CompileMS is the pipeline wall time. On a cached
+	// (whole-artifact) hit FuncsReused equals Funcs and CompileMS is 0.
+	FuncsCompiled int   `json:"funcs_compiled,omitempty"`
+	FuncsReused   int   `json:"funcs_reused,omitempty"`
+	CompileMS     int64 `json:"compile_ms,omitempty"`
 
 	// open-session / attach
 	Session string `json:"session,omitempty"`
@@ -203,4 +210,15 @@ type Stats struct {
 	CyclesExecuted int64 `json:"cycles_executed"`
 	Requests       int64 `json:"requests"`
 	Panics         int64 `json:"panics"`
+
+	// Per-function compile pipeline: lifetime totals of back ends run vs.
+	// functions stitched from the incremental tier, cumulative pipeline
+	// wall time, and the incremental tier's resident footprint.
+	CompileWorkers     int   `json:"compile_workers"`
+	FuncsCompiled      int64 `json:"funcs_compiled"`
+	FuncsReused        int64 `json:"funcs_reused"`
+	CompileMSTotal     int64 `json:"compile_ms_total"`
+	FuncCacheEntries   int   `json:"func_cache_entries"`
+	FuncCacheBytes     int64 `json:"func_cache_bytes"`
+	FuncCacheEvictions int64 `json:"func_cache_evictions"`
 }

@@ -51,6 +51,10 @@ type Options struct {
 	// AnalysisWorkers bounds the worker pool that precomputes the
 	// per-function core analyses after a compile; <= 0 means GOMAXPROCS.
 	AnalysisWorkers int
+	// CompileWorkers bounds the per-function back-end concurrency of the
+	// compile pipeline (functions of one or many programs compile in
+	// parallel under one shared bound); <= 0 means GOMAXPROCS.
+	CompileWorkers int
 	// SessionTTL reaps sessions idle for longer than this (their slot is
 	// freed and later commands get no-such-session); <= 0 disables
 	// reaping. Detached sessions — whose connection dropped — are
@@ -169,10 +173,11 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts: opts,
 		store: artstore.New(artstore.Config{
-			Shards:       opts.Shards,
-			MaxArtifacts: opts.CacheSize,
-			MemoryBudget: opts.MemoryBudget,
-			SpillDir:     opts.SpillDir,
+			Shards:         opts.Shards,
+			MaxArtifacts:   opts.CacheSize,
+			MemoryBudget:   opts.MemoryBudget,
+			SpillDir:       opts.SpillDir,
+			CompileWorkers: opts.CompileWorkers,
 		}),
 		sessions:  map[string]*session{},
 		local:     &connState{trusted: true, authed: true},
@@ -556,7 +561,18 @@ func (s *Server) handleCompile(req *Request) *Response {
 		// (Artifacts rehydrated from the disk tier rebuild lazily.)
 		art.Analyses.Precompute(art.Res.Mach, s.opts.AnalysisWorkers)
 	}
-	return &Response{ID: req.ID, OK: true, Artifact: art.ID(), Cached: hit, Funcs: len(art.Res.Mach.Funcs)}
+	resp := &Response{ID: req.ID, OK: true, Artifact: art.ID(), Cached: hit, Funcs: len(art.Res.Mach.Funcs)}
+	if !hit {
+		// A miss ran the per-function pipeline: report how much of it was
+		// fresh compilation vs. stitched from the incremental tier. A hit
+		// skipped the pipeline entirely (the whole artifact was reused).
+		resp.FuncsCompiled = art.Metrics.FuncsCompiled
+		resp.FuncsReused = art.Metrics.FuncsReused
+		resp.CompileMS = art.Metrics.Duration.Milliseconds()
+	} else {
+		resp.FuncsReused = len(art.Res.Mach.Funcs)
+	}
+	return resp
 }
 
 func (s *Server) handleOpen(c *connState, req *Request) *Response {
@@ -820,7 +836,7 @@ func (s *Server) Snapshot() Stats {
 		}
 	}
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		SessionsActive:    active,
 		SessionsDetached:  detached,
 		SessionsOpened:    s.sessionsOpened.Load(),
@@ -845,4 +861,15 @@ func (s *Server) Snapshot() Stats {
 		Requests:          s.requests.Load(),
 		Panics:            s.panics.Load(),
 	}
+	ps := s.store.PipelineStats()
+	st.CompileWorkers = s.store.CompileWorkers()
+	st.FuncsCompiled = ps.FuncsCompiled
+	st.FuncsReused = ps.FuncsReused
+	st.CompileMSTotal = ps.CompileNanos / 1e6
+	if fs, ok := s.store.FuncCacheStats(); ok {
+		st.FuncCacheEntries = fs.Entries
+		st.FuncCacheBytes = fs.MemoryBytes
+		st.FuncCacheEvictions = fs.Evictions
+	}
+	return st
 }

@@ -15,10 +15,35 @@
 // compiles can share a concurrency-safe artifact Cache. An Artifact and
 // its analyses are immutable, so any number of Sessions — including
 // concurrent ones — may share one Artifact.
+//
+// # Per-function pipeline
+//
+// Compilation is per-function behind this API: after the whole-program
+// front end, each function runs optimization → code selection → register
+// allocation → scheduling independently, fanned out across a bounded
+// worker pool (WithCompileWorkers) and reassembled deterministically —
+// the machine code is byte-identical to a serial compile. Each compiled
+// function is also cached by a content hash of its checked IR plus the
+// configuration, so Artifact.Recompile recompiles only the functions an
+// edit actually changed and stitches the rest from cache.
+// CompileStats reports what happened.
+//
+// # Configuration deprecation path
+//
+// Functional options are the supported way to configure compilation;
+// constructing internal/compile.Config values directly is a legacy surface
+// kept for compatibility and slated for removal from driver code. In-repo
+// harnesses that genuinely need the internal config (benchmarks, the
+// ablation driver) should derive it from options via ResolveConfig rather
+// than building the struct by hand. The legacy Cache (NewCache/WithCache)
+// predates the unified Store and keeps whole-artifact granularity only;
+// prefer NewStore/WithStore, which adds memory accounting, disk spill and
+// incremental per-function reuse.
 package minic
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/artstore"
 	"repro/internal/compile"
@@ -37,6 +62,7 @@ type settings struct {
 	cache      *Cache
 	store      *Store
 	precompute int // -1: off, 0: GOMAXPROCS, >0: bounded pool
+	workers    int // per-function compile workers; 0 = GOMAXPROCS
 }
 
 // WithOptLevel selects the optimization level: 0 (none — this also turns
@@ -98,6 +124,33 @@ func WithPrecomputedAnalyses(workers int) Option {
 	}
 }
 
+// WithCompileWorkers bounds the per-function back-end worker pool: the
+// functions of a program are optimized, lowered, allocated and scheduled
+// concurrently, at most n at a time, and reassembled in declaration order
+// (byte-identical to a serial compile). n <= 0 selects GOMAXPROCS. When
+// compiling through a Store the store's own pipeline applies instead —
+// set its bound with WithStoreCompileWorkers.
+func WithCompileWorkers(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			n = 0
+		}
+		s.workers = n
+	}
+}
+
+// ResolveConfig resolves compilation options to the internal pipeline
+// configuration. It exists for in-repo harnesses (benchmarks, ablation
+// drivers) that must hand a raw config to internal packages; application
+// code should pass the options to Compile directly.
+func ResolveConfig(opts ...Option) compile.Config {
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
+	return s.cfg
+}
+
 // Cache is a concurrency-safe compiled-artifact cache with LRU eviction;
 // see NewCache.
 type Cache = compile.Cache
@@ -145,6 +198,23 @@ func WithSpillDir(dir string) StoreOption {
 	return func(c *artstore.Config) { c.SpillDir = dir }
 }
 
+// WithStoreCompileWorkers bounds the store's per-function compile worker
+// pool. The bound is shared across concurrent compiles through the store,
+// so a burst of requests still runs at most n function back ends at once;
+// n <= 0 selects GOMAXPROCS.
+func WithStoreCompileWorkers(n int) StoreOption {
+	return func(c *artstore.Config) { c.CompileWorkers = n }
+}
+
+// WithFuncCacheBudget bounds the accounted bytes of the store's
+// per-function incremental tier (encoded machine code keyed by content
+// hash of each function's checked IR + configuration). 0 keeps the
+// default (a quarter of the store's memory budget, or unbounded);
+// negative disables incremental reuse.
+func WithFuncCacheBudget(bytes int64) StoreOption {
+	return func(c *artstore.Config) { c.FuncCacheBudget = bytes }
+}
+
 // NewStore creates an artifact store for use with WithStore.
 func NewStore(opts ...StoreOption) *Store {
 	var cfg artstore.Config
@@ -168,16 +238,80 @@ func WithStore(st *Store) Option { return func(s *settings) { s.store = st } }
 type Artifact struct {
 	res      *compile.Result
 	analyses *core.AnalysisSet
+
+	name    string
+	metrics compile.Metrics
+	// recompile compiles new source under this artifact's name and
+	// options, reusing this artifact's per-function cache (default and
+	// store paths) so unchanged functions are stitched, not recompiled.
+	recompile func(src string) (*Artifact, error)
+}
+
+// CompileStats describes the compile that produced an Artifact: how many
+// functions the program has, how many per-function back ends actually ran,
+// how many functions were stitched unchanged from the incremental cache,
+// and the pipeline wall time. For an artifact served whole from a Store or
+// Cache the stats are those of the compile that originally produced it
+// (zero if it was rehydrated from a disk tier).
+type CompileStats struct {
+	Funcs         int
+	FuncsCompiled int
+	FuncsReused   int
+	Duration      time.Duration
+}
+
+// CompileStats reports what the compile producing this artifact did.
+func (a *Artifact) CompileStats() CompileStats {
+	return CompileStats{
+		Funcs:         a.metrics.Funcs,
+		FuncsCompiled: a.metrics.FuncsCompiled,
+		FuncsReused:   a.metrics.FuncsReused,
+		Duration:      a.metrics.Duration,
+	}
+}
+
+// Recompile compiles new source for the same program name under the same
+// options, reusing every function the edit did not change: each function
+// is keyed by a content hash of its checked IR plus the configuration, so
+// a one-function edit runs exactly one back end and stitches the rest
+// from cache. The receiver is unchanged; the new Artifact shares the same
+// incremental cache, so a chain of Recompiles keeps reusing. With the
+// legacy WithCache path there is no per-function tier and Recompile is a
+// full (whole-artifact cached) compile.
+func (a *Artifact) Recompile(src string) (*Artifact, error) { return a.recompile(src) }
+
+func defaultSettings() settings {
+	return settings{cfg: compile.Config{Opt: opt.O2(), RegAlloc: true, Sched: true}, precompute: -1}
 }
 
 // Compile runs the pipeline over MiniC source text. With no options it
 // compiles like the production compiler: -O2 with register allocation
-// and scheduling.
+// and scheduling, functions fanned out across GOMAXPROCS workers.
 func Compile(name, src string, opts ...Option) (*Artifact, error) {
-	s := settings{cfg: compile.Config{Opt: opt.O2(), RegAlloc: true, Sched: true}, precompute: -1}
+	s := defaultSettings()
 	for _, o := range opts {
 		o(&s)
 	}
+	a, err := s.compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if s.precompute >= 0 {
+		a.analyses.Precompute(a.res.Mach, s.precompute)
+	}
+	return a, nil
+}
+
+// compile runs one compilation under the resolved settings and arms the
+// artifact's Recompile path.
+func (s *settings) compile(name, src string) (*Artifact, error) {
+	return s.compileVia(nil, name, src)
+}
+
+// compileVia compiles through the settings' store, cache, or — by default
+// — a per-lineage pipeline with an attached per-function cache. pipe is
+// the lineage pipeline to reuse (nil on the first compile).
+func (s *settings) compileVia(pipe *compile.Pipeline, name, src string) (*Artifact, error) {
 	var a *Artifact
 	switch {
 	case s.store != nil:
@@ -187,7 +321,7 @@ func Compile(name, src string, opts ...Option) (*Artifact, error) {
 		}
 		// Share the store's analysis set so the artifact and its
 		// analyses are accounted and evicted as one unit.
-		a = &Artifact{res: sa.Res, analyses: sa.Analyses}
+		a = &Artifact{res: sa.Res, analyses: sa.Analyses, metrics: sa.Metrics}
 	case s.cache != nil:
 		res, _, err := s.cache.Compile(name, src, s.cfg)
 		if err != nil {
@@ -195,14 +329,28 @@ func Compile(name, src string, opts ...Option) (*Artifact, error) {
 		}
 		a = &Artifact{res: res, analyses: core.NewAnalysisSet()}
 	default:
-		res, err := compile.Compile(name, src, s.cfg)
+		if pipe == nil {
+			pipe = compile.NewPipeline(compile.PipelineConfig{
+				Workers: s.workers,
+				Funcs:   compile.NewFuncCache(compile.FuncCacheConfig{}),
+			})
+		}
+		res, m, err := pipe.Compile(name, src, s.cfg)
 		if err != nil {
 			return nil, err
 		}
-		a = &Artifact{res: res, analyses: core.NewAnalysisSet()}
+		a = &Artifact{res: res, analyses: core.NewAnalysisSet(), metrics: m}
 	}
-	if s.precompute >= 0 {
-		a.analyses.Precompute(a.res.Mach, s.precompute)
+	a.name = name
+	a.recompile = func(src string) (*Artifact, error) {
+		na, err := s.compileVia(pipe, name, src)
+		if err != nil {
+			return nil, err
+		}
+		if s.precompute >= 0 {
+			na.analyses.Precompute(na.res.Mach, s.precompute)
+		}
+		return na, nil
 	}
 	return a, nil
 }
