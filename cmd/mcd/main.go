@@ -25,6 +25,10 @@
 //	-session-ttl d   reap sessions idle longer than d, e.g. 30m (0 = never)
 //	-budget n        per-session execution budget in instructions
 //	-workers n       analysis precompute worker pool (default GOMAXPROCS)
+//	-request-timeout d
+//	                 cut off a continue/step running longer than d with a
+//	                 typed "timeout" error; the session survives at the
+//	                 instruction boundary where the cutoff landed (0 = never)
 //
 // Every connection owns the sessions it opens: open-session returns an
 // unguessable session id plus a secret handle, other connections'
@@ -71,6 +75,7 @@ func main() {
 	budget := flag.Int64("budget", server.DefaultStepBudget, "per-session execution budget (instructions)")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	compileWorkers := flag.Int("compile-workers", 0, "per-function compile worker pool size (0 = GOMAXPROCS)")
+	requestTimeout := flag.Duration("request-timeout", 0, "wall-clock bound on one continue/step command (0 = unbounded)")
 	flag.Parse()
 
 	s := server.New(server.Options{
@@ -85,6 +90,7 @@ func main() {
 		StepBudget:      *budget,
 		AnalysisWorkers: *workers,
 		CompileWorkers:  *compileWorkers,
+		RequestTimeout:  *requestTimeout,
 	})
 
 	// Flush the warm set on SIGINT/SIGTERM so a restarted daemon with the

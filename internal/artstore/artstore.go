@@ -8,6 +8,7 @@ package artstore
 
 import (
 	"hash/maphash"
+	"time"
 
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -71,6 +72,10 @@ type Config struct {
 	// MemoryBudget/4 (or unbounded when MemoryBudget is unbounded);
 	// negative disables incremental reuse entirely.
 	FuncCacheBudget int64
+	// SpillDegradeAfter and SpillProbeInterval tune the disk tier's
+	// circuit breaker (see store.Config); <= 0 means the store defaults.
+	SpillDegradeAfter  int
+	SpillProbeInterval time.Duration
 }
 
 // ident is the request identity: exact equality on (name, source, config).
@@ -148,11 +153,13 @@ func New(cfg Config) *Store {
 		Funcs:   funcs,
 	})
 	sc := store.Config[ident, *Artifact]{
-		Shards:       cfg.Shards,
-		MaxEntries:   cfg.MaxArtifacts,
-		MemoryBudget: cfg.MemoryBudget,
-		Dir:          cfg.SpillDir,
-		Hash:         identHash,
+		Shards:        cfg.Shards,
+		MaxEntries:    cfg.MaxArtifacts,
+		MemoryBudget:  cfg.MemoryBudget,
+		Dir:           cfg.SpillDir,
+		Hash:          identHash,
+		DegradeAfter:  cfg.SpillDegradeAfter,
+		ProbeInterval: cfg.SpillProbeInterval,
 	}
 	if cfg.SpillDir != "" {
 		sc.Codec = codec{st: st}
@@ -223,8 +230,13 @@ func (st *Store) Stats() store.Stats { return st.s.Stats() }
 func (st *Store) Range(fn func(id string, a *Artifact)) { st.s.Range(fn) }
 
 // Flush persists the resident artifact set to the disk tier (no-op
-// without one), so a graceful shutdown keeps its warm set.
-func (st *Store) Flush() { st.s.Flush() }
+// without one), so a graceful shutdown keeps its warm set. While the
+// breaker has the disk tier degraded, Flush is skipped and reports why.
+func (st *Store) Flush() error { return st.s.Flush() }
+
+// Close stops the store's background work (the breaker's recovery
+// prober). It does not flush; call Flush first for a warm restart.
+func (st *Store) Close() { st.s.Close() }
 
 // Len returns the number of resident artifacts (including in-flight).
 func (st *Store) Len() int { return st.s.Len() }

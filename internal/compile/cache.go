@@ -184,7 +184,7 @@ func (c *Cache) AddCost(name, src string, cfg Config, delta int64) {
 
 // Flush serializes the resident artifact set to the disk tier (a no-op
 // without one), so a graceful shutdown keeps its warm set.
-func (c *Cache) Flush() { c.s.Flush() }
+func (c *Cache) Flush() error { return c.s.Flush() }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {

@@ -1,0 +1,58 @@
+package compile_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/fault"
+)
+
+// The compile.func fault point sits inside the per-function back end; a
+// firing rule must surface as an ordinary compile error naming the
+// pipeline (serial and parallel alike), and an injected worker panic
+// must be contained to the same error shape — never escape to the
+// process.
+
+func TestInjectedBackEndErrorSurfaces(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	src := bench.MustSource("li")
+	for _, workers := range []int{1, 8} {
+		fault.Set("compile.func", fault.Rule{Times: 1})
+		p := compile.NewPipeline(compile.PipelineConfig{Workers: workers})
+		_, _, err := p.Compile("li", src, compile.O2())
+		if err == nil {
+			t.Fatalf("workers=%d: injected back-end error did not surface", workers)
+		}
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("workers=%d: err = %v, want ErrInjected wrap", workers, err)
+		}
+		if !strings.Contains(err.Error(), "compile:") {
+			t.Fatalf("workers=%d: err = %v, want compile-prefixed", workers, err)
+		}
+	}
+
+	// Disarmed, the same pipeline compiles cleanly.
+	fault.Disable()
+	p := compile.NewPipeline(compile.PipelineConfig{Workers: 8})
+	if _, _, err := p.Compile("li", src, compile.O2()); err != nil {
+		t.Fatalf("compile after disarm: %v", err)
+	}
+}
+
+func TestInjectedBackEndPanicIsContained(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	src := bench.MustSource("li")
+	for _, workers := range []int{1, 8} {
+		fault.Set("compile.func", fault.Rule{Times: 1, Panic: true})
+		p := compile.NewPipeline(compile.PipelineConfig{Workers: workers})
+		_, _, err := p.Compile("li", src, compile.O2())
+		if err == nil || !strings.Contains(err.Error(), "panic compiling") {
+			t.Fatalf("workers=%d: err = %v, want contained panic", workers, err)
+		}
+	}
+}

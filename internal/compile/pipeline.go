@@ -20,11 +20,13 @@ package compile
 // N-function program runs the back end exactly once.
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/lower"
 	"repro/internal/mach"
@@ -149,7 +151,7 @@ func (p *Pipeline) Compile(name, src string, cfg Config) (*Result, Metrics, erro
 	errs := make([]error, n)
 	if p.workers == 1 || n <= 1 {
 		for i, f := range prog.Funcs {
-			mfs[i], reused[i], errs[i] = p.compileOne(sp, f, sig, cfg)
+			mfs[i], reused[i], errs[i] = p.compileOneSafe(sp, f, sig, cfg)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -159,7 +161,7 @@ func (p *Pipeline) Compile(name, src string, cfg Config) (*Result, Metrics, erro
 				defer wg.Done()
 				p.slots <- struct{}{}
 				defer func() { <-p.slots }()
-				mfs[i], reused[i], errs[i] = p.compileOne(sp, f, sig, cfg)
+				mfs[i], reused[i], errs[i] = p.compileOneSafe(sp, f, sig, cfg)
 			}(i, f)
 		}
 		wg.Wait()
@@ -192,6 +194,25 @@ func (p *Pipeline) Compile(name, src string, cfg Config) (*Result, Metrics, erro
 		res.IR = prog
 	}
 	return res, m, nil
+}
+
+// compileOneSafe runs compileOne with panic containment: a panic in one
+// function's back end — a compiler bug, or the "compile.func" fault
+// point's injected panic — surfaces as that function's compile error
+// instead of killing the worker goroutine (and with it the whole
+// process). The pipeline then fails the one Compile call; the service
+// maps it to a compile-error response and stays up.
+func (p *Pipeline) compileOneSafe(sp *sem.Program, f *ir.Func, sig GlobalsSig, cfg Config) (mf *mach.Func, reused bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mf, reused = nil, false
+			err = fmt.Errorf("compile: panic compiling %s: %v", f.Name, r)
+		}
+	}()
+	if err := fault.Check("compile.func"); err != nil {
+		return nil, false, fmt.Errorf("compile: %s: %w", f.Name, err)
+	}
+	return p.compileOne(sp, f, sig, cfg)
 }
 
 // compileOne compiles or reuses one function. f must be freshly built

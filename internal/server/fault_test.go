@@ -1,0 +1,130 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// spinProg never terminates on its own: the only way a continue over it
+// returns is the per-request deadline.
+const spinProg = `
+int main() {
+	int i = 0;
+	while (0 < 1) {
+		i = i + 1;
+	}
+	return i;
+}
+`
+
+func TestRequestTimeoutInterruptsRunaway(t *testing.T) {
+	s := New(Options{RequestTimeout: 50 * time.Millisecond})
+	defer s.Close()
+	_, sess := compileAndOpen(t, s, "spin.mc", spinProg)
+
+	before := s.Snapshot().CyclesExecuted
+	start := time.Now()
+	resp := s.Handle(&Request{Cmd: "continue", Session: sess})
+	if resp.OK || resp.Error == nil || resp.Error.Code != CodeTimeout {
+		t.Fatalf("runaway continue = %+v, want %s", resp.Error, CodeTimeout)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline enforced only after %v", elapsed)
+	}
+	snap := s.Snapshot()
+	if snap.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", snap.Timeouts)
+	}
+	// The cycles the request did execute before the deadline are credited,
+	// not dropped with the error.
+	if snap.CyclesExecuted <= before {
+		t.Fatalf("timed-out continue credited no cycles (%d -> %d)", before, snap.CyclesExecuted)
+	}
+	// The session survives the timeout and still answers: not exited, not
+	// destroyed — interrupted mid-run (no breakpoint stop to report).
+	w := mustOK(t, s, &Request{Cmd: "where", Session: sess})
+	if w.Exited {
+		t.Fatalf("where after timeout = %+v, session reported exited", w)
+	}
+}
+
+func TestNoTimeoutByDefault(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	_, sess := compileAndOpen(t, s, "t.mc", testProg)
+	c := mustOK(t, s, &Request{Cmd: "continue", Session: sess})
+	if !c.Exited {
+		t.Fatalf("continue = %+v, want clean exit", c)
+	}
+	if snap := s.Snapshot(); snap.Timeouts != 0 {
+		t.Fatalf("timeouts = %d without a deadline", snap.Timeouts)
+	}
+}
+
+// TestConnWriteFaultDropsConnection pins the server.conn.write point's
+// contract: a failed response write kills the connection exactly like a
+// real broken pipe — Serve returns, the connection's sessions detach but
+// survive, and the handle reattaches them from a fresh connection.
+func TestConnWriteFaultDropsConnection(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	s := New(Options{})
+	defer s.Close()
+
+	a := dialServe(t, s)
+	c := a.mustOK(&Request{ID: 1, Cmd: "compile", Name: "t.mc", Src: testProg})
+	o := a.mustOK(&Request{ID: 2, Cmd: "open-session", Artifact: c.Artifact})
+
+	fault.Set("server.conn.write", fault.Rule{Times: 1})
+	if err := a.enc.Encode(&Request{ID: 3, Cmd: "where", Session: o.Session}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if a.sc.Scan() {
+		t.Fatalf("response delivered through a failed write: %q", a.sc.Text())
+	}
+	if err := <-a.done; err == nil {
+		t.Fatal("Serve returned nil after an injected write failure")
+	}
+	a.w.Close()
+
+	snap := s.Snapshot()
+	if snap.SessionsActive != 1 || snap.SessionsDetached != 1 {
+		t.Fatalf("after drop: active=%d detached=%d, want 1 detached survivor",
+			snap.SessionsActive, snap.SessionsDetached)
+	}
+
+	b := dialServe(t, s)
+	at := b.mustOK(&Request{ID: 1, Cmd: "attach", Session: o.Session, Handle: o.Handle})
+	if at.Session != o.Session {
+		t.Fatalf("attach = %+v", at)
+	}
+	br := b.mustOK(&Request{ID: 2, Cmd: "break", Session: o.Session, Func: "main", Stmt: intp(1)})
+	if br.Stop == nil || br.Stop.Func != "main" {
+		t.Fatalf("break after reattach = %+v", br)
+	}
+	b.drop()
+}
+
+// TestDegradedFlushOnCloseIsCountedNotFatal drives the spill tier into
+// degraded mode, then closes the server: the final flush must fail soft
+// (logged + counted), never abort the shutdown.
+func TestDegradedFlushOnCloseIsCountedNotFatal(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	s := New(Options{
+		SpillDir:           t.TempDir(),
+		SpillDegradeAfter:  1,
+		SpillProbeInterval: time.Hour,
+	})
+	fault.Set("store.spill.read", fault.Rule{})
+	mustOK(t, s, &Request{Cmd: "compile", Name: "t.mc", Src: testProg})
+	if snap := s.Snapshot(); !snap.SpillDegraded {
+		t.Fatalf("spill tier not degraded: %+v", snap)
+	}
+	s.Close()
+	if snap := s.Snapshot(); snap.FlushErrors != 1 {
+		t.Fatalf("flush_errors = %d after degraded close, want 1", snap.FlushErrors)
+	}
+}

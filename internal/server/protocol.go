@@ -174,6 +174,7 @@ const (
 	CodeNotStopped     = "not-stopped"
 	CodeNoSuchVar      = "no-such-var"
 	CodeBudget         = "budget-exceeded"
+	CodeTimeout        = "timeout"
 	CodeShuttingDown   = "shutting-down"
 	CodeInternal       = "internal"
 )
@@ -206,10 +207,23 @@ type Stats struct {
 	SpillWrites int64 `json:"spill_writes"`
 	SpillErrors int64 `json:"spill_errors"`
 
+	// Spill-tier health: whether the circuit breaker currently has the
+	// disk tier degraded to memory-only, how many times it has tripped,
+	// how many recovery probes have run, and how many Flush calls failed
+	// or were skipped while degraded.
+	SpillDegraded     bool  `json:"spill_degraded"`
+	SpillDegradations int64 `json:"spill_degradations"`
+	SpillProbes       int64 `json:"spill_probes"`
+	FlushErrors       int64 `json:"flush_errors"`
+
 	AnalysesBuilt  int64 `json:"analyses_built"`
 	CyclesExecuted int64 `json:"cycles_executed"`
 	Requests       int64 `json:"requests"`
 	Panics         int64 `json:"panics"`
+	// Timeouts counts continue/step commands cut off by the per-request
+	// deadline (-request-timeout); their cycle progress is still credited
+	// to cycles_executed.
+	Timeouts int64 `json:"timeouts"`
 
 	// Per-function compile pipeline: lifetime totals of back ends run vs.
 	// functions stitched from the incremental tier, cumulative pipeline

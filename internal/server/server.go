@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"runtime/debug"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/compile"
 	"repro/internal/debugger"
+	"repro/internal/fault"
 	"repro/internal/opt"
 	"repro/internal/vm"
 )
@@ -67,6 +69,20 @@ type Options struct {
 	// finish before force-closing the remaining connections; <= 0 means
 	// DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// RequestTimeout bounds the wall-clock time one continue/step command
+	// may execute before it is cut off with a timeout error. The session
+	// survives (stopped at the instruction boundary where the deadline was
+	// noticed, cycles credited); only the one command fails. <= 0 disables
+	// the deadline.
+	RequestTimeout time.Duration
+	// SpillDegradeAfter is the spill-tier circuit breaker's threshold:
+	// after this many consecutive disk I/O failures the store degrades to
+	// memory-only until a background probe sees the disk recover. <= 0
+	// means the store's default.
+	SpillDegradeAfter int
+	// SpillProbeInterval is how often the degraded store probes the disk;
+	// <= 0 means the store's default.
+	SpillProbeInterval time.Duration
 }
 
 // Defaults for Options.
@@ -136,6 +152,7 @@ type Server struct {
 	cyclesExecuted atomic.Int64
 	requests       atomic.Int64
 	panics         atomic.Int64
+	timeouts       atomic.Int64
 	connsActive    atomic.Int64
 	connsTotal     atomic.Int64
 	authFailures   atomic.Int64
@@ -173,11 +190,13 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts: opts,
 		store: artstore.New(artstore.Config{
-			Shards:         opts.Shards,
-			MaxArtifacts:   opts.CacheSize,
-			MemoryBudget:   opts.MemoryBudget,
-			SpillDir:       opts.SpillDir,
-			CompileWorkers: opts.CompileWorkers,
+			Shards:             opts.Shards,
+			MaxArtifacts:       opts.CacheSize,
+			MemoryBudget:       opts.MemoryBudget,
+			SpillDir:           opts.SpillDir,
+			CompileWorkers:     opts.CompileWorkers,
+			SpillDegradeAfter:  opts.SpillDegradeAfter,
+			SpillProbeInterval: opts.SpillProbeInterval,
 		}),
 		sessions:  map[string]*session{},
 		local:     &connState{trusted: true, authed: true},
@@ -259,7 +278,12 @@ func (s *Server) Close() {
 
 		close(s.reapStop)
 		<-s.reapDone
-		s.store.Flush()
+		if err := s.store.Flush(); err != nil {
+			// The warm set just won't survive the restart; the counter is
+			// already in flush_errors for anyone watching stats.
+			log.Printf("server: spill-tier flush on close: %v", err)
+		}
+		s.store.Close()
 	})
 }
 
@@ -337,6 +361,13 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 			resp = errResp(0, CodeBadRequest, fmt.Sprintf("malformed request: %v", err))
 		} else {
 			resp = s.handleAs(c, &req)
+		}
+		// "server.conn.write" models the response write failing (peer gone,
+		// send buffer wedged) or stalling (slow reader): an error here drops
+		// the connection exactly like a real write failure would, after
+		// which the client's sessions are detached, not destroyed.
+		if err := fault.Check("server.conn.write"); err != nil {
+			return err
 		}
 		if err := enc.Encode(resp); err != nil {
 			return err
@@ -710,6 +741,10 @@ func (s *Server) handleSession(c *connState, req *Request) *Response {
 		if req.Cmd == "step" {
 			run = sess.dbg.Step
 		}
+		if s.opts.RequestTimeout > 0 {
+			sess.dbg.VM.SetDeadline(time.Now().Add(s.opts.RequestTimeout))
+			defer sess.dbg.VM.SetDeadline(time.Time{})
+		}
 		bp, err := run()
 		s.creditCycles(sess)
 		if err != nil {
@@ -809,6 +844,9 @@ func (s *Server) errorOf(id int64, err error) *Response {
 		code = CodeNoSuchVar
 	case errors.Is(err, vm.ErrStepLimit):
 		code = CodeBudget
+	case errors.Is(err, vm.ErrDeadline):
+		code = CodeTimeout
+		s.timeouts.Add(1)
 	}
 	return errResp(id, code, err.Error())
 }
@@ -856,10 +894,15 @@ func (s *Server) Snapshot() Stats {
 		SpillMisses:       cs.SpillMisses,
 		SpillWrites:       cs.SpillWrites,
 		SpillErrors:       cs.SpillErrors,
+		SpillDegraded:     cs.SpillDegraded,
+		SpillDegradations: cs.SpillDegradations,
+		SpillProbes:       cs.SpillProbes,
+		FlushErrors:       cs.FlushErrors,
 		AnalysesBuilt:     built,
 		CyclesExecuted:    s.cyclesExecuted.Load(),
 		Requests:          s.requests.Load(),
 		Panics:            s.panics.Load(),
+		Timeouts:          s.timeouts.Load(),
 	}
 	ps := s.store.PipelineStats()
 	st.CompileWorkers = s.store.CompileWorkers()

@@ -24,6 +24,12 @@
 //     restart keeps its spilled warm set. Flush persists the resident
 //     completed set (for graceful shutdown). Disk errors are counted and
 //     fall back to compute; they are never fatal.
+//   - Spill circuit breaker: after DegradeAfter consecutive disk I/O
+//     failures the disk tier is taken out of the request path entirely —
+//     the store degrades to memory-only (correct, just colder) — and a
+//     background probe re-enables it once the disk answers again. Data
+//     errors (corrupt or mismatched spill files) fall back to compute but
+//     do not trip the breaker: they indicate bad bytes, not a bad disk.
 //   - Coalescing: concurrent Gets of one identity share a single compute;
 //     an in-flight entry is never evicted.
 package store
@@ -31,9 +37,14 @@ package store
 import (
 	"container/list"
 	"encoding/hex"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
 )
 
 // Codec serializes values for the disk tier. Decode returns the identity
@@ -67,7 +78,21 @@ type Config[M comparable, V any] struct {
 	// It deliberately need not be collision-free: entries are matched by
 	// exact equality on M, the hash only routes.
 	Hash func(M) uint64
+	// DegradeAfter is the spill circuit breaker's threshold: after this
+	// many consecutive disk I/O failures the disk tier is disabled (the
+	// store runs memory-only) until the background probe succeeds.
+	// <= 0 means DefaultDegradeAfter. Only meaningful with Dir.
+	DegradeAfter int
+	// ProbeInterval is how often the background probe retries a degraded
+	// disk tier; <= 0 means DefaultProbeInterval.
+	ProbeInterval time.Duration
 }
+
+// Defaults for the spill circuit breaker.
+const (
+	DefaultDegradeAfter  = 5
+	DefaultProbeInterval = 2 * time.Second
+)
 
 // Stats is a point-in-time snapshot of the store's counters, taken with
 // every shard's lock in turn so per-shard views are internally consistent.
@@ -82,6 +107,11 @@ type Stats struct {
 	SpillMisses int64 // disk tier consulted and had no (usable) file
 	SpillWrites int64 // entries serialized to the disk tier
 	SpillErrors int64 // disk tier I/O or codec failures (all non-fatal)
+
+	SpillDegraded     bool  // disk tier currently degraded (memory-only)
+	SpillDegradations int64 // times the circuit breaker tripped
+	SpillProbes       int64 // background probe attempts while degraded
+	FlushErrors       int64 // entries Flush failed (or declined) to persist
 
 	Shards       int
 	MemoryBudget int64
@@ -118,6 +148,93 @@ type Store[M comparable, V any] struct {
 	dir    string
 	codec  Codec[M, V]
 	hash   func(M) uint64
+
+	brk         *breaker // nil without a disk tier
+	flushErrors atomic.Int64
+}
+
+// breaker is the spill tier's circuit breaker. Consecutive disk I/O
+// failures (reads, writes, renames — not decode/data errors) trip it;
+// while tripped the store skips the disk entirely and a background probe
+// goroutine retries until the disk answers, then re-enables the tier and
+// exits. One probe goroutine exists at a time; close stops it for good.
+type breaker struct {
+	threshold int
+	interval  time.Duration
+	probe     func() error
+
+	degraded    atomic.Bool
+	degradation atomic.Int64
+	probes      atomic.Int64
+
+	mu      sync.Mutex
+	consec  int
+	probing bool
+	closed  bool
+	stop    chan struct{}
+}
+
+// failure records one disk I/O failure, tripping the breaker (and
+// launching the probe) at the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.consec < b.threshold || b.degraded.Load() {
+		return
+	}
+	b.degraded.Store(true)
+	b.degradation.Add(1)
+	if !b.probing && !b.closed {
+		b.probing = true
+		go b.probeLoop()
+	}
+}
+
+// success records one healthy disk response (a clean read, write, or
+// not-found), resetting the consecutive-failure count.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.consec = 0
+	b.mu.Unlock()
+}
+
+func (b *breaker) probeLoop() {
+	t := time.NewTicker(b.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			b.mu.Lock()
+			b.probing = false
+			b.mu.Unlock()
+			return
+		case <-t.C:
+			b.probes.Add(1)
+			if b.probe() == nil {
+				b.mu.Lock()
+				b.consec = 0
+				b.degraded.Store(false)
+				b.probing = false
+				b.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+func (b *breaker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.closed = true
+		close(b.stop)
+	}
+}
+
+// diskUp reports whether the disk tier is configured and not degraded.
+func (s *Store[M, V]) diskUp() bool {
+	return s.dir != "" && s.codec != nil && !s.brk.degraded.Load()
 }
 
 // New creates a store from cfg.
@@ -141,6 +258,22 @@ func New[M comparable, V any](cfg Config[M, V]) *Store[M, V] {
 		panic("store: Config.Hash is required")
 	}
 	s := &Store[M, V]{shards: make([]*shard[M, V], n), mask: uint64(n - 1), dir: cfg.Dir, codec: cfg.Codec, hash: cfg.Hash}
+	if cfg.Dir != "" {
+		threshold := cfg.DegradeAfter
+		if threshold <= 0 {
+			threshold = DefaultDegradeAfter
+		}
+		interval := cfg.ProbeInterval
+		if interval <= 0 {
+			interval = DefaultProbeInterval
+		}
+		s.brk = &breaker{
+			threshold: threshold,
+			interval:  interval,
+			probe:     s.probeDisk,
+			stop:      make(chan struct{}),
+		}
+	}
 	for i := range s.shards {
 		s.shards[i] = &shard[M, V]{
 			index:   map[M]*entry[M, V]{},
@@ -175,6 +308,20 @@ func (s *Store[M, V]) Get(m M, id func() string, compute func() (V, int64, error
 	sh.index[m] = e
 	sh.mu.Unlock()
 
+	// A panicking id or compute callback must not strand the in-flight
+	// entry: coalesced waiters block on e.done forever if it never
+	// resolves. Resolve with an error (waiters fail, identity forgotten),
+	// then let the panic continue to the caller's recovery.
+	defer func() {
+		if r := recover(); r != nil {
+			if !completed(e) {
+				var zero V
+				s.resolve(sh, e, zero, 0, fmt.Errorf("store: compute panicked: %v", r), resolveCompute)
+			}
+			panic(r)
+		}
+	}()
+
 	e.id = id()
 	if v, cost, ok := s.loadSpilled(sh, e); ok {
 		s.resolve(sh, e, v, cost, nil, resolveDiskGet)
@@ -207,19 +354,33 @@ func (s *Store[M, V]) LookupID(id string) (V, bool) {
 		sh.mu.Unlock()
 	}
 	var zero V
-	if s.dir == "" || s.codec == nil {
+	if !s.diskUp() {
 		return zero, false
 	}
-	data, err := os.ReadFile(s.spillPath(id))
+	data, err := s.readSpill(id)
 	if err != nil {
+		if !os.IsNotExist(err) {
+			sh0 := s.shards[0]
+			sh0.mu.Lock()
+			sh0.spillErrors++
+			sh0.mu.Unlock()
+			s.brk.failure()
+		} else {
+			s.brk.success()
+		}
 		return zero, false
 	}
+	s.brk.success()
 	m, v, cost, err := s.codec.Decode(id, data)
 	if err != nil {
+		// Bad bytes, not a bad disk: fall back without tripping the
+		// breaker, and drop the corrupt file so it cannot wedge every
+		// future lookup of this id (a later eviction re-spills it whole).
 		sh0 := s.shards[0]
 		sh0.mu.Lock()
 		sh0.spillErrors++
 		sh0.mu.Unlock()
+		os.Remove(s.spillPath(id))
 		return zero, false
 	}
 	// Re-admit into the identity's home shard so later Gets hit in memory.
@@ -265,11 +426,20 @@ func (s *Store[M, V]) AddCost(m M, delta int64) {
 
 // Flush serializes every resident completed entry to the disk tier, so a
 // graceful shutdown persists the warm set (not only what eviction already
-// spilled). It is a no-op without a disk tier.
-func (s *Store[M, V]) Flush() {
+// spilled). It is a no-op without a disk tier. Entries that fail to
+// persist — or the whole set, when the spill tier is degraded — are
+// counted in FlushErrors and reported in the returned error; the store
+// itself remains fully usable either way.
+func (s *Store[M, V]) Flush() error {
 	if s.dir == "" || s.codec == nil {
-		return
+		return nil
 	}
+	if !s.diskUp() {
+		s.flushErrors.Add(1)
+		return fmt.Errorf("store: flush skipped: spill tier degraded (running memory-only)")
+	}
+	var failed int64
+	var firstErr error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		victims := make([]*entry[M, V], 0, len(sh.byID))
@@ -277,7 +447,25 @@ func (s *Store[M, V]) Flush() {
 			victims = append(victims, e)
 		}
 		sh.mu.Unlock()
-		s.spill(sh, victims)
+		_, errs, err := s.spill(sh, victims)
+		failed += errs
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if failed > 0 {
+		s.flushErrors.Add(failed)
+		return fmt.Errorf("store: flush failed to persist %d entries: %w", failed, firstErr)
+	}
+	return nil
+}
+
+// Close stops the spill tier's background probe goroutine, if one is
+// running. The store remains usable after Close (the disk tier simply
+// stays degraded if it was); Close exists so owners shut down cleanly.
+func (s *Store[M, V]) Close() {
+	if s.brk != nil {
+		s.brk.close()
 	}
 }
 
@@ -319,6 +507,12 @@ func (s *Store[M, V]) Stats() Stats {
 		st.MemoryBudget += sh.budget
 		sh.mu.Unlock()
 	}
+	if s.brk != nil {
+		st.SpillDegraded = s.brk.degraded.Load()
+		st.SpillDegradations = s.brk.degradation.Load()
+		st.SpillProbes = s.brk.probes.Load()
+	}
+	st.FlushErrors = s.flushErrors.Load()
 	return st
 }
 
@@ -415,10 +609,10 @@ func (sh *shard[M, V]) evictLocked() []*entry[M, V] {
 // loadSpilled tries to serve an in-flight miss from the disk tier.
 func (s *Store[M, V]) loadSpilled(sh *shard[M, V], e *entry[M, V]) (v V, cost int64, ok bool) {
 	var zero V
-	if s.dir == "" || s.codec == nil {
+	if !s.diskUp() {
 		return zero, 0, false
 	}
-	data, err := os.ReadFile(s.spillPath(e.id))
+	data, err := s.readSpill(e.id)
 	if err != nil {
 		sh.mu.Lock()
 		if os.IsNotExist(err) {
@@ -427,11 +621,21 @@ func (s *Store[M, V]) loadSpilled(sh *shard[M, V], e *entry[M, V]) (v V, cost in
 			sh.spillErrors++
 		}
 		sh.mu.Unlock()
+		if os.IsNotExist(err) {
+			s.brk.success()
+		} else {
+			s.brk.failure()
+		}
 		return zero, 0, false
 	}
+	s.brk.success()
 	m, v, cost, err := s.codec.Decode(e.id, data)
 	if err != nil || m != e.m {
-		// Corrupt, stale, or colliding file: fall back to compute.
+		// Corrupt, stale, or colliding file: fall back to compute and drop
+		// the bad file (the recompute's eviction re-spills it whole). Data
+		// errors do not trip the breaker — the disk answered, the bytes
+		// were bad.
+		os.Remove(s.spillPath(e.id))
 		sh.mu.Lock()
 		sh.spillErrors++
 		sh.mu.Unlock()
@@ -440,20 +644,40 @@ func (s *Store[M, V]) loadSpilled(sh *shard[M, V], e *entry[M, V]) (v V, cost in
 	return v, cost, true
 }
 
-// spill serializes evicted entries to the disk tier (outside any lock).
-func (s *Store[M, V]) spill(sh *shard[M, V], victims []*entry[M, V]) {
-	if s.dir == "" || s.codec == nil || len(victims) == 0 {
-		return
+// readSpill reads one spill file ("store.spill.read" fault point).
+func (s *Store[M, V]) readSpill(id string) ([]byte, error) {
+	if err := fault.Check("store.spill.read"); err != nil {
+		return nil, err
 	}
-	var writes, errs int64
+	return os.ReadFile(s.spillPath(id))
+}
+
+// spill serializes evicted entries to the disk tier (outside any lock),
+// reporting how many wrote and how many failed. It stops early if the
+// circuit breaker trips mid-batch — no point hammering a dead disk.
+func (s *Store[M, V]) spill(sh *shard[M, V], victims []*entry[M, V]) (writes, errs int64, firstErr error) {
+	if len(victims) == 0 || !s.diskUp() {
+		return 0, 0, nil
+	}
 	for _, e := range victims {
 		if e.err != nil {
 			continue
 		}
-		if err := s.writeSpill(e); err != nil {
+		ioErr, err := s.writeSpill(e)
+		if err != nil {
 			errs++
+			if firstErr == nil {
+				firstErr = err
+			}
+			if ioErr {
+				s.brk.failure()
+			}
 		} else {
 			writes++
+			s.brk.success()
+		}
+		if !s.diskUp() {
+			break
 		}
 	}
 	if writes != 0 || errs != 0 {
@@ -462,31 +686,86 @@ func (s *Store[M, V]) spill(sh *shard[M, V], victims []*entry[M, V]) {
 		sh.spillErrors += errs
 		sh.mu.Unlock()
 	}
+	return writes, errs, firstErr
 }
 
-// writeSpill atomically writes one entry's serialized form.
-func (s *Store[M, V]) writeSpill(e *entry[M, V]) error {
+// writeSpill atomically writes one entry's serialized form. ioErr
+// distinguishes disk I/O failures (which feed the circuit breaker) from
+// codec failures (which do not). Fault points: "store.spill.partial"
+// truncates the payload (the write "succeeds", leaving a corrupt file for
+// the read path's digest check to reject), "store.spill.write" and
+// "store.spill.rename" fail the corresponding syscalls.
+func (s *Store[M, V]) writeSpill(e *entry[M, V]) (ioErr bool, err error) {
 	data, err := s.codec.Encode(e.id, e.m, e.val)
 	if err != nil {
+		return false, err
+	}
+	data = fault.Cut("store.spill.partial", data)
+	if err := fault.Check("store.spill.write"); err != nil {
+		return true, err
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return true, err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".spill-*")
+	if err != nil {
+		return true, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return true, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return true, err
+	}
+	if err := fault.Check("store.spill.rename"); err != nil {
+		os.Remove(tmp.Name())
+		return true, err
+	}
+	if err := os.Rename(tmp.Name(), s.spillPath(e.id)); err != nil {
+		os.Remove(tmp.Name())
+		return true, err
+	}
+	return false, nil
+}
+
+// probeDisk is the circuit breaker's health check: write, read back, and
+// remove a probe file. It shares the read/write fault points, so an
+// injected outage keeps the tier degraded until the schedule clears.
+func (s *Store[M, V]) probeDisk() error {
+	if err := fault.Check("store.spill.write"); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, ".spill-*")
+	f, err := os.CreateTemp(s.dir, ".probe-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	name := f.Name()
+	defer os.Remove(name)
+	_, werr := f.Write([]byte("probe"))
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if err := fault.Check("store.spill.read"); err != nil {
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+	data, err := os.ReadFile(name)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), s.spillPath(e.id))
+	if string(data) != "probe" {
+		return fmt.Errorf("store: probe readback mismatch")
+	}
+	return nil
 }
 
 func (s *Store[M, V]) spillPath(id string) string {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/mach"
@@ -18,6 +19,13 @@ import (
 // ErrStepLimit is returned (wrapped) when execution exhausts MaxSteps —
 // the per-session execution budget of the debug-session server.
 var ErrStepLimit = errors.New("vm: step limit exceeded")
+
+// ErrDeadline is returned (wrapped) when execution runs past the wall-clock
+// deadline set by SetDeadline — the server's per-request timeout. The VM
+// stays consistent at the instruction boundary where the deadline was
+// noticed: cycles and position reflect exactly the instructions executed,
+// so a timed-out continue still conserves the session's cycle accounting.
+var ErrDeadline = errors.New("vm: deadline exceeded")
 
 // Val is one runtime value (integer word or float).
 type Val struct {
@@ -73,6 +81,9 @@ type VM struct {
 	Steps  int64
 	// MaxSteps bounds execution (0 = default limit).
 	MaxSteps int64
+	// deadline, when nonzero, is a wall-clock bound (UnixNano) checked
+	// every 1024 steps; past it Step returns ErrDeadline.
+	deadline int64
 
 	halted bool
 	retVal Val
@@ -121,6 +132,19 @@ func (vm *VM) push(fn *mach.Func, args []Val, retDst mach.Opd) {
 		vm.mem = append(vm.mem, slot{})
 	}
 	vm.stack = append(vm.stack, fr)
+}
+
+// SetDeadline bounds subsequent execution by wall-clock time: once t has
+// passed, Step (and hence Run/RunUntil) returns an error wrapping
+// ErrDeadline. The zero time clears the deadline. The check is amortized —
+// the clock is read once every 1024 steps — so steady-state stepping pays
+// one integer compare.
+func (vm *VM) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		vm.deadline = 0
+		return
+	}
+	vm.deadline = t.UnixNano()
 }
 
 // Halted reports whether the program has finished.
@@ -255,6 +279,9 @@ func (vm *VM) Step() error {
 	vm.Steps++
 	if vm.Steps > vm.MaxSteps {
 		return fmt.Errorf("%w in %s", ErrStepLimit, fr.Fn.Name)
+	}
+	if vm.deadline != 0 && vm.Steps&1023 == 0 && time.Now().UnixNano() > vm.deadline {
+		return fmt.Errorf("%w in %s", ErrDeadline, fr.Fn.Name)
 	}
 	if fr.idx >= len(fr.block.Instrs) {
 		// Fell off an unterminated block: treat as void return.

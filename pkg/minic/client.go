@@ -3,8 +3,10 @@ package minic
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -29,6 +31,32 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return fmt.Sprintf("minic: remote %s: %s", e.Code, e.Message) }
 
+// Is matches RemoteErrors by code, so errors.Is(err, ErrShuttingDown)
+// works on any error returned by this package.
+func (e *RemoteError) Is(target error) bool {
+	t, ok := target.(*RemoteError)
+	return ok && e.Code == t.Code
+}
+
+// Retryable reports whether the error is transient by protocol contract:
+// the daemon is draining (shutting-down — a restarted or sibling daemon
+// will answer) or the one command ran past the daemon's request timeout
+// (timeout — the session survived at the cutoff point, so the caller may
+// resume it). Everything else means retrying the same request will fail
+// the same way.
+func (e *RemoteError) Retryable() bool {
+	return e.Code == server.CodeShuttingDown || e.Code == server.CodeTimeout
+}
+
+// Typed sentinels for errors.Is. The daemon answers shutting-down while
+// draining: a drain, not a hard failure — sessions survive to the spill
+// tier or a handle re-attach. timeout cuts off one continue/step; the
+// session survives at the instruction boundary where the cutoff landed.
+var (
+	ErrShuttingDown = &RemoteError{Code: server.CodeShuttingDown}
+	ErrTimeout      = &RemoteError{Code: server.CodeTimeout}
+)
+
 // Wire-shape re-exports, so client code needs no internal imports.
 type (
 	// RemoteStop is a stop location reported by a remote session.
@@ -45,6 +73,34 @@ type DialOption func(*dialSettings)
 type dialSettings struct {
 	token   string
 	timeout time.Duration
+	retry   RetryPolicy
+	retryOn bool
+}
+
+// RetryPolicy tunes WithRetry. The zero value of each field selects its
+// default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per command, first attempt
+	// included; <= 0 means 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt (with jitter) up to MaxDelay. <= 0 means 25ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <= 0 means 1s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
 }
 
 // WithAuthToken presents the daemon's shared secret (its -auth-token)
@@ -59,15 +115,49 @@ func WithDialTimeout(d time.Duration) DialOption {
 	return func(ds *dialSettings) { ds.timeout = d }
 }
 
+// WithRetry makes the client retry failed commands with exponential
+// backoff plus jitter — but only commands that are idempotent on the
+// daemon (auth, stats, compile, attach, detach, break, where, print,
+// info). Execution commands (continue, step), open-session, and close
+// are never resent: the client cannot know whether the daemon acted on
+// a request whose response was lost, and re-running execution would
+// corrupt the session's position.
+//
+// Two failure shapes are retried: a broken connection (the client
+// redials and — since every session command carries the session handle —
+// the retried command reattaches its session on the new connection), and
+// the daemon's typed shutting-down answer (a drain; a restarted daemon
+// with the same spill dir serves the warm set). After a broken
+// connection, even non-idempotent commands get the redial on their next
+// call; they just don't get the resend.
+func WithRetry(p RetryPolicy) DialOption {
+	return func(ds *dialSettings) { ds.retry = p.withDefaults(); ds.retryOn = true }
+}
+
+// idempotentCmds are safe to resend when the previous attempt's outcome
+// is unknown: re-running them leaves the daemon in the same state and
+// yields the same answer. compile is idempotent because artifacts are
+// content-addressed (a duplicate compile coalesces or hits the cache);
+// attach/detach/break converge to the same session state.
+var idempotentCmds = map[string]bool{
+	"auth": true, "stats": true, "compile": true, "attach": true,
+	"detach": true, "break": true, "where": true, "print": true, "info": true,
+}
+
 // Client is one connection to a remote mcd daemon. It is safe for
 // concurrent use; requests are serialized on the wire, matching the
 // protocol's one-response-per-line ordering.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	sc   *bufio.Scanner
-	next int64
+	network string
+	addr    string
+	ds      dialSettings
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	sc     *bufio.Scanner
+	next   int64
+	broken bool // the connection died mid-command; redial before reuse
 }
 
 // Dial connects to an mcd daemon on network ("tcp" or "unix") and
@@ -82,8 +172,8 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, enc: json.NewEncoder(conn), sc: bufio.NewScanner(conn)}
-	c.sc.Buffer(make([]byte, 0, 64*1024), server.MaxLine)
+	c := &Client{network: network, addr: addr, ds: ds}
+	c.reset(conn)
 	if ds.token != "" {
 		if _, err := c.do(&server.Request{Cmd: "auth", Token: ds.token}); err != nil {
 			conn.Close()
@@ -93,11 +183,102 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 	return c, nil
 }
 
-// do sends one request (assigning it the next id) and decodes its
-// response, mapping protocol errors to *RemoteError.
+// reset points the client at a (new) connection. Caller holds c.mu or
+// has exclusive access.
+func (c *Client) reset(conn net.Conn) {
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.sc = bufio.NewScanner(conn)
+	c.sc.Buffer(make([]byte, 0, 64*1024), server.MaxLine)
+	c.broken = false
+}
+
+// redialLocked replaces a broken connection and re-authenticates.
+// Called with c.mu held.
+func (c *Client) redialLocked() error {
+	conn, err := net.DialTimeout(c.network, c.addr, c.ds.timeout)
+	if err != nil {
+		return err
+	}
+	c.conn.Close()
+	c.reset(conn)
+	if c.ds.token != "" {
+		if _, err := c.doLocked(&server.Request{Cmd: "auth", Token: c.ds.token}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// do sends one request and decodes its response, retrying per the
+// WithRetry policy when armed.
 func (c *Client) do(req *server.Request) (*server.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	attempts := 1
+	if c.ds.retryOn && idempotentCmds[req.Cmd] {
+		attempts = c.ds.retry.MaxAttempts
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			time.Sleep(backoff(c.ds.retry, try))
+		}
+		if c.broken {
+			if !c.ds.retryOn {
+				return nil, lastErrOr(lastErr)
+			}
+			if err := c.redialLocked(); err != nil {
+				lastErr = err
+				c.broken = true
+				continue
+			}
+		}
+		resp, err := c.doLocked(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var re *RemoteError
+		if errors.As(err, &re) {
+			// The daemon answered: the connection is healthy, the error is
+			// semantic. Only the typed transient codes are worth retrying.
+			if !re.Retryable() {
+				return nil, err
+			}
+			continue
+		}
+		// Transport error: the connection is unusable whether or not the
+		// daemon acted on the request. Redial on the next attempt (or the
+		// next call, for commands that must not be resent).
+		c.broken = true
+	}
+	return nil, lastErr
+}
+
+func lastErrOr(err error) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("minic: connection is broken (dial a new client)")
+}
+
+// backoff is the delay before retry number try (1-based): exponential in
+// BaseDelay, capped at MaxDelay, with the upper half jittered so a fleet
+// of clients retrying a restarted daemon does not stampede in phase.
+func backoff(p RetryPolicy, try int) time.Duration {
+	d := p.BaseDelay << (try - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// doLocked sends one request (assigning it the next id) and decodes its
+// response, mapping protocol errors to *RemoteError. Called with c.mu
+// held.
+func (c *Client) doLocked(req *server.Request) (*server.Response, error) {
 	c.next++
 	req.ID = c.next
 	if err := c.enc.Encode(req); err != nil {

@@ -1,0 +1,185 @@
+package minic_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/pkg/minic"
+)
+
+// drainingDaemon is a fake daemon that answers every request with the
+// typed shutting-down error, counting requests — the shape of a real
+// daemon mid-drain, held there forever so retry behavior is observable.
+func drainingDaemon(t *testing.T) (addr string, count *atomic.Int64) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	count = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				enc := json.NewEncoder(conn)
+				for sc.Scan() {
+					var req server.Request
+					if json.Unmarshal(sc.Bytes(), &req) != nil {
+						return
+					}
+					count.Add(1)
+					enc.Encode(&server.Response{ID: req.ID, Error: &server.ProtoError{
+						Code: server.CodeShuttingDown, Message: "draining",
+					}})
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String(), count
+}
+
+func retryFast() minic.DialOption {
+	return minic.WithRetry(minic.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	})
+}
+
+func TestRetryExhaustsAgainstDrainingDaemon(t *testing.T) {
+	addr, count := drainingDaemon(t)
+	c, err := minic.Dial("tcp", addr, retryFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Stats()
+	if !errors.Is(err, minic.ErrShuttingDown) {
+		t.Fatalf("stats against draining daemon = %v, want ErrShuttingDown", err)
+	}
+	if got := count.Load(); got != 3 {
+		t.Fatalf("idempotent stats sent %d times, want MaxAttempts=3", got)
+	}
+}
+
+func TestNonIdempotentCommandsAreNeverResent(t *testing.T) {
+	addr, count := drainingDaemon(t)
+	c, err := minic.Dial("tcp", addr, retryFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	before := count.Load()
+	if _, err := c.Open("deadbeef"); !errors.Is(err, minic.ErrShuttingDown) {
+		t.Fatalf("open = %v, want ErrShuttingDown", err)
+	}
+	if got := count.Load() - before; got != 1 {
+		t.Fatalf("open-session sent %d times, want exactly 1", got)
+	}
+}
+
+func TestRemoteErrorTyping(t *testing.T) {
+	sd := &minic.RemoteError{Code: server.CodeShuttingDown, Message: "draining"}
+	to := &minic.RemoteError{Code: server.CodeTimeout, Message: "deadline"}
+	bad := &minic.RemoteError{Code: server.CodeBadRequest, Message: "nope"}
+	if !errors.Is(sd, minic.ErrShuttingDown) || !errors.Is(to, minic.ErrTimeout) {
+		t.Fatal("typed codes do not match their sentinels")
+	}
+	if errors.Is(bad, minic.ErrShuttingDown) || errors.Is(sd, minic.ErrTimeout) {
+		t.Fatal("sentinel matched a foreign code")
+	}
+	if !sd.Retryable() || !to.Retryable() {
+		t.Fatal("transient codes not retryable")
+	}
+	if bad.Retryable() {
+		t.Fatal("bad-request marked retryable")
+	}
+}
+
+// TestRetryRedialsAndReattaches is the composition test: an injected
+// response-write failure kills the connection mid-session, and the
+// retrying client must recover transparently — redial, re-present the
+// session handle, and complete the command — without the caller seeing
+// any error.
+func TestRetryRedialsAndReattaches(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	addr := startDaemon(t, server.Options{})
+	c, err := minic.Dial("tcp", addr, retryFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	art, err := c.Compile("t.mc", clientProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Open(art.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The next response write fails: the daemon applies the command, then
+	// drops the connection instead of answering.
+	fault.Set("server.conn.write", fault.Rule{Times: 1})
+	stop, err := sess.BreakAtStmt("main", 1)
+	if err != nil {
+		t.Fatalf("break through injected write failure = %v", err)
+	}
+	if stop == nil || stop.Func != "main" {
+		t.Fatalf("break stop = %+v", stop)
+	}
+	if fault.Fired("server.conn.write") != 1 {
+		t.Fatal("write-fault point never fired; the retry was not exercised")
+	}
+
+	// The session is fully usable on the redialed connection.
+	stop, out, err := sess.Continue()
+	if err != nil || stop == nil {
+		t.Fatalf("continue after recovery = (%+v, %q, %v)", stop, out, err)
+	}
+	if v, err := sess.Print("x"); err != nil || v.Name != "x" {
+		t.Fatalf("print after recovery = (%+v, %v)", v, err)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+}
+
+// TestBrokenConnectionWithoutRetryStaysBroken pins the non-retry
+// default: a dead connection surfaces transport errors and the client
+// does not silently redial.
+func TestBrokenConnectionWithoutRetryStaysBroken(t *testing.T) {
+	fault.Enable(1)
+	defer fault.Disable()
+	addr := startDaemon(t, server.Options{})
+	c, err := minic.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	fault.Set("server.conn.write", fault.Rule{Times: 1})
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("stats through a dropped connection succeeded without retry")
+	}
+	// Still broken on the next call: no hidden redial.
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("client silently redialed without WithRetry")
+	}
+}
