@@ -29,6 +29,11 @@
 //	                 cut off a continue/step running longer than d with a
 //	                 typed "timeout" error; the session survives at the
 //	                 instruction boundary where the cutoff landed (0 = never)
+//	-output-limit n  per-session program-output cap in bytes; a session
+//	                 printing past it gets a typed "output-limit" error
+//	                 (0 = the VM default, negative = unlimited)
+//	-pprof addr      serve net/http/pprof on addr (e.g. localhost:6060)
+//	                 for live CPU/heap profiling of the daemon
 //
 // Every connection owns the sessions it opens: open-session returns an
 // unguessable session id plus a secret handle, other connections'
@@ -54,6 +59,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,7 +83,25 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	compileWorkers := flag.Int("compile-workers", 0, "per-function compile worker pool size (0 = GOMAXPROCS)")
 	requestTimeout := flag.Duration("request-timeout", 0, "wall-clock bound on one continue/step command (0 = unbounded)")
+	outputLimit := flag.Int64("output-limit", 0, "per-session program-output cap in bytes (0 = default, negative = unlimited)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof import wires the profiling handlers into
+		// http.DefaultServeMux; this listener exposes only those.
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mcd: pprof on http://%s/debug/pprof/\n", pl.Addr())
+		go func() {
+			if err := http.Serve(pl, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "mcd: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	s := server.New(server.Options{
 		AuthToken:       *authToken,
@@ -91,6 +116,7 @@ func main() {
 		AnalysisWorkers: *workers,
 		CompileWorkers:  *compileWorkers,
 		RequestTimeout:  *requestTimeout,
+		OutputLimit:     *outputLimit,
 	})
 
 	// Flush the warm set on SIGINT/SIGTERM so a restarted daemon with the

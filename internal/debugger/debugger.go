@@ -38,6 +38,11 @@ type Debugger struct {
 	analyses *core.AnalysisSet
 	breaks   []*Breakpoint
 	stopped  *Breakpoint
+
+	// bset is the breakpoint bitmap compiled from breaks, consumed by the
+	// VM's predecoded fast path; it is invalidated whenever breaks change
+	// and rebuilt on the next Continue.
+	bset *vm.BreakSet
 }
 
 // New prepares a session for a compiled program with its own analysis set.
@@ -105,14 +110,50 @@ func (d *Debugger) BreakAtStmt(funcName string, stmt int) (*Breakpoint, error) {
 	}
 	bp := &Breakpoint{Fn: f, Stmt: stmt, Line: d.stmtLine(f, stmt), Loc: loc}
 	d.breaks = append(d.breaks, bp)
+	d.bset = nil // recompile the bitmap on the next Continue
 	return bp, nil
 }
 
+// compileBreaks builds the breakpoint bitmap from the armed breakpoints.
+// It reports false if any breakpoint location does not map into the
+// predecoded layout, in which case the caller must use the predicate
+// path (the bitmap would silently skip that breakpoint).
+func (d *Debugger) compileBreaks() bool {
+	bs := d.VM.NewBreakSet()
+	for _, bp := range d.breaks {
+		if !bs.Add(bp.Fn, bp.Loc.Block, bp.Loc.Idx) {
+			return false
+		}
+	}
+	d.bset = bs
+	return true
+}
+
 // Continue resumes execution until a breakpoint or program exit. It
-// returns the breakpoint hit, or nil when the program halted.
+// returns the breakpoint hit, or nil when the program halted. Execution
+// takes the VM's predecoded bitmap fast path; ContinueRef is the
+// reference predicate implementation it is differentially tested against.
 func (d *Debugger) Continue() (*Breakpoint, error) {
+	if d.bset == nil && !d.compileBreaks() {
+		return d.ContinueRef()
+	}
+	// Don't immediately re-trigger the breakpoint we stopped at: resuming
+	// from a breakpoint executes its first instruction unconditionally.
+	skip := d.stopped != nil && d.matches(d.VM.Position()) != nil
+	if err := d.VM.RunBreaks(d.bset, skip); err != nil {
+		return nil, err
+	}
+	return d.afterRun()
+}
+
+// ContinueRef is the reference implementation of Continue over the
+// closure-predicate RunUntilFunc path: it builds a Pos and evaluates
+// every armed breakpoint before each instruction. It is the differential
+// oracle the fast path is held byte-identical against (and the baseline
+// of the BENCH_vm.json comparison).
+func (d *Debugger) ContinueRef() (*Breakpoint, error) {
 	first := true
-	err := d.VM.RunUntil(func(p vm.Pos) bool {
+	err := d.VM.RunUntilFunc(func(p vm.Pos) bool {
 		if first {
 			// Don't immediately re-trigger the breakpoint we stopped at.
 			first = false
@@ -125,6 +166,11 @@ func (d *Debugger) Continue() (*Breakpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.afterRun()
+}
+
+// afterRun records the stop (or exit) after a run-to-breakpoint.
+func (d *Debugger) afterRun() (*Breakpoint, error) {
 	if d.VM.Halted() {
 		d.stopped = nil
 		return nil, nil
@@ -150,7 +196,9 @@ func (d *Debugger) Stopped() *Breakpoint { return d.stopped }
 // execution stopped, or nil when the program halted. The paper's debugger
 // model treats any statement boundary as a potential stopping point, so
 // the variable classifications at a step stop are computed exactly like
-// breakpoint classifications.
+// breakpoint classifications. The statement-boundary stop rule is
+// compiled into a bitmap (vm.StepBreakSet) and run on the predecoded
+// fast path; StepRef is the reference predicate implementation.
 func (d *Debugger) Step() (*Breakpoint, error) {
 	if d.VM.Halted() {
 		return nil, nil
@@ -162,7 +210,25 @@ func (d *Debugger) Step() (*Breakpoint, error) {
 	if err := d.VM.Step(); err != nil {
 		return nil, err
 	}
-	err := d.VM.RunUntil(func(p vm.Pos) bool {
+	if err := d.VM.RunBreaks(d.VM.StepBreakSet(startFn, startStmt), false); err != nil {
+		return nil, err
+	}
+	return d.afterStep()
+}
+
+// StepRef is the reference implementation of Step over the
+// closure-predicate RunUntilFunc path — the differential oracle for the
+// bitmap-compiled step rule.
+func (d *Debugger) StepRef() (*Breakpoint, error) {
+	if d.VM.Halted() {
+		return nil, nil
+	}
+	startFn := d.VM.Position().Fn
+	startStmt := d.currentStmt()
+	if err := d.VM.Step(); err != nil {
+		return nil, err
+	}
+	err := d.VM.RunUntilFunc(func(p vm.Pos) bool {
 		in := d.VM.CurrentInstr()
 		if in == nil || in.Stmt < 0 {
 			return false
@@ -172,6 +238,11 @@ func (d *Debugger) Step() (*Breakpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.afterStep()
+}
+
+// afterStep records the synthetic statement-boundary stop (or exit).
+func (d *Debugger) afterStep() (*Breakpoint, error) {
 	if d.VM.Halted() {
 		d.stopped = nil
 		return nil, nil

@@ -1,0 +1,212 @@
+package debugger
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/randprog"
+	"repro/internal/vm"
+)
+
+// The predecoded bitmap execution path (Continue/Step over RunBreaks)
+// must be observationally identical to the closure-predicate reference
+// path (ContinueRef/StepRef over RunUntilFunc): same stop sequence, same
+// instruction and cycle counts at every stop, same program output and
+// exit value. These tests drive both paths over a corpus of generated
+// programs under every optimization configuration.
+
+type stopTrace struct {
+	stops  []string // "fn:stmt:line" per stop, or "exit"
+	steps  []int64
+	cycles []int64
+	output string
+	exit   int64
+}
+
+func (tr *stopTrace) record(bp *Breakpoint, v *vm.VM) {
+	if bp == nil {
+		tr.stops = append(tr.stops, "exit")
+	} else {
+		tr.stops = append(tr.stops, fmt.Sprintf("%s:%d:%d", bp.Fn.Name, bp.Stmt, bp.Line))
+	}
+	tr.steps = append(tr.steps, v.Steps)
+	tr.cycles = append(tr.cycles, v.Cycles)
+}
+
+// traceRun drives one debugger to completion, recording every stop.
+// mode selects the engine: "fast" uses the bitmap path, "ref" the
+// closure-predicate path. Breakpoints are set at the given (func, stmt)
+// pairs; every 3rd resume is a single step instead of a continue so the
+// step rule is exercised mid-run too.
+func traceRun(t *testing.T, d *Debugger, mode string, brk [][2]any, maxStops int) *stopTrace {
+	t.Helper()
+	for _, b := range brk {
+		// Breakpoints that don't resolve (e.g. a function optimized into
+		// nothing) must fail identically on both paths; BreakAtStmt is
+		// shared, so an error here is fine as long as both runs see it.
+		d.BreakAtStmt(b[0].(string), b[1].(int))
+	}
+	tr := &stopTrace{}
+	for i := 0; i < maxStops; i++ {
+		var bp *Breakpoint
+		var err error
+		useStep := i%3 == 2 && d.Stopped() != nil
+		switch {
+		case useStep && mode == "fast":
+			bp, err = d.Step()
+		case useStep:
+			bp, err = d.StepRef()
+		case mode == "fast":
+			bp, err = d.Continue()
+		default:
+			bp, err = d.ContinueRef()
+		}
+		if err != nil {
+			tr.stops = append(tr.stops, "err:"+err.Error())
+			break
+		}
+		tr.record(bp, d.VM)
+		if bp == nil {
+			break
+		}
+	}
+	tr.output = d.VM.Output()
+	if d.VM.Halted() {
+		tr.exit = d.VM.ExitValue()
+	}
+	return tr
+}
+
+func equivConfigs() map[string]compile.Config {
+	return map[string]compile.Config{
+		"O0":        compile.O0(),
+		"O2-noregs": compile.O2NoRegAlloc(),
+		"O2-full":   compile.O2(),
+	}
+}
+
+// TestFastPathEquivRandprog runs 50 generated programs under all three
+// configurations, comparing the fast and reference engines stop for
+// stop.
+func TestFastPathEquivRandprog(t *testing.T) {
+	const seeds = 50
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.Gen(seed)
+		for name, cfg := range equivConfigs() {
+			res, err := compile.Compile(fmt.Sprintf("rand%d.mc", seed), src, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile: %v", seed, name, err)
+			}
+			// Break in main and at a spread of statements: some resolve,
+			// some don't, and resolution must agree between runs anyway
+			// since BreakAtStmt is shared.
+			brk := [][2]any{{"main", 0}, {"main", 3}, {"f0", 1}, {"f1", 2}}
+
+			dFast, err := New(res)
+			if err != nil {
+				t.Fatalf("seed %d %s: New: %v", seed, name, err)
+			}
+			resRef, err := compile.Compile(fmt.Sprintf("rand%d.mc", seed), src, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile(ref): %v", seed, name, err)
+			}
+			dRef, err := New(resRef)
+			if err != nil {
+				t.Fatalf("seed %d %s: New(ref): %v", seed, name, err)
+			}
+
+			fast := traceRun(t, dFast, "fast", brk, 200)
+			ref := traceRun(t, dRef, "ref", brk, 200)
+
+			if len(fast.stops) != len(ref.stops) {
+				t.Fatalf("seed %d %s: stop count %d vs %d\nfast: %v\nref:  %v",
+					seed, name, len(fast.stops), len(ref.stops), fast.stops, ref.stops)
+			}
+			for i := range fast.stops {
+				if fast.stops[i] != ref.stops[i] {
+					t.Fatalf("seed %d %s: stop %d: fast %q vs ref %q",
+						seed, name, i, fast.stops[i], ref.stops[i])
+				}
+				if fast.steps[i] != ref.steps[i] {
+					t.Errorf("seed %d %s: stop %d (%s): Steps %d vs %d",
+						seed, name, i, fast.stops[i], fast.steps[i], ref.steps[i])
+				}
+				if fast.cycles[i] != ref.cycles[i] {
+					t.Errorf("seed %d %s: stop %d (%s): Cycles %d vs %d",
+						seed, name, i, fast.stops[i], fast.cycles[i], ref.cycles[i])
+				}
+			}
+			if fast.output != ref.output {
+				t.Errorf("seed %d %s: output differs\nfast: %q\nref:  %q",
+					seed, name, fast.output, ref.output)
+			}
+			if fast.exit != ref.exit {
+				t.Errorf("seed %d %s: exit %d vs %d", seed, name, fast.exit, ref.exit)
+			}
+		}
+	}
+}
+
+// TestFastPathStepEquiv single-steps a small program from entry to exit
+// on both engines and requires identical stop sequences — the pure
+// step-rule path, no breakpoints at all.
+func TestFastPathStepEquiv(t *testing.T) {
+	src := `
+int g;
+
+int twice(int v) {
+	return v + v;
+}
+
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 6; i = i + 1) {
+		s = s + twice(i);
+		if (s > 12) {
+			g = g + 1;
+		}
+	}
+	print(s);
+	return s;
+}
+`
+	for name, cfg := range equivConfigs() {
+		dFast := session(t, src, cfg)
+		dRef := session(t, src, cfg)
+		var fast, ref stopTrace
+		for i := 0; i < 400; i++ {
+			bp, err := dFast.Step()
+			if err != nil {
+				t.Fatalf("%s: fast Step: %v", name, err)
+			}
+			fast.record(bp, dFast.VM)
+			if bp == nil {
+				break
+			}
+		}
+		for i := 0; i < 400; i++ {
+			bp, err := dRef.StepRef()
+			if err != nil {
+				t.Fatalf("%s: ref StepRef: %v", name, err)
+			}
+			ref.record(bp, dRef.VM)
+			if bp == nil {
+				break
+			}
+		}
+		if fmt.Sprint(fast.stops) != fmt.Sprint(ref.stops) {
+			t.Fatalf("%s: step sequences differ\nfast: %v\nref:  %v", name, fast.stops, ref.stops)
+		}
+		for i := range fast.steps {
+			if fast.steps[i] != ref.steps[i] || fast.cycles[i] != ref.cycles[i] {
+				t.Fatalf("%s: counters diverge at stop %d: steps %d/%d cycles %d/%d",
+					name, i, fast.steps[i], ref.steps[i], fast.cycles[i], ref.cycles[i])
+			}
+		}
+		if dFast.VM.Output() != dRef.VM.Output() {
+			t.Fatalf("%s: output %q vs %q", name, dFast.VM.Output(), dRef.VM.Output())
+		}
+	}
+}

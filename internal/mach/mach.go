@@ -13,6 +13,7 @@ package mach
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/ir"
@@ -553,6 +554,27 @@ type Program struct {
 	GlobalOff  map[*ast.Object]int64
 	GlobalSize int64
 	GlobalInit map[*ast.Object]ir.Operand
+
+	// predecoded caches the simulator's predecoded form of this program
+	// (internal/vm flattens every function into a pc-indexed instruction
+	// array on first execution; every VM over the program shares it). The
+	// slot is opaque so mach stays free of any dependency on the
+	// simulator's representation. Programs are immutable once compiled,
+	// which is what makes a compute-once cache sound.
+	predecodeMu sync.Mutex
+	predecoded  any
+}
+
+// Predecoded returns the cached predecoded form of the program, invoking
+// build exactly once (per program) to produce it. Concurrent callers
+// block until the first build completes and then share its result.
+func (p *Program) Predecoded(build func() any) any {
+	p.predecodeMu.Lock()
+	defer p.predecodeMu.Unlock()
+	if p.predecoded == nil {
+		p.predecoded = build()
+	}
+	return p.predecoded
 }
 
 // LookupFunc finds a function by name, or nil.

@@ -1,0 +1,248 @@
+// Zero-allocation response encoding. The wire loop used to run every
+// response through encoding/json, which reflects over the struct and
+// allocates on every call — measurable at hot continue/stop serving
+// rates. appendResponse is a hand-rolled append-based encoder producing
+// byte-identical output to encoding/json (same field order, omitempty
+// semantics, and string escaping, including the HTML-safe escapes, the
+// \ufffd replacement for invalid UTF-8, and  / ), over
+// buffers recycled through a sync.Pool. The encode_test golden and
+// randomized tests hold it byte-identical to encoding/json; flipping
+// LegacyJSONEncoding routes the wire loop back through encoding/json as
+// the live differential oracle.
+package server
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"unicode/utf8"
+)
+
+// LegacyJSONEncoding, when set, routes wire responses through
+// encoding/json instead of the append encoder. It exists for the
+// byte-equivalence tests and the before/after serving benchmarks; leave
+// it off in production.
+var LegacyJSONEncoding atomic.Bool
+
+// encBufs recycles response encode buffers across requests and
+// connections. Stored as *[]byte so Put does not allocate.
+var encBufs = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// appendResponse appends r encoded exactly as encoding/json would
+// (without the trailing newline json.Encoder adds; the caller appends
+// it).
+func appendResponse(b []byte, r *Response) []byte {
+	b = append(b, '{')
+	if r.ID != 0 {
+		b = append(b, `"id":`...)
+		b = strconv.AppendInt(b, r.ID, 10)
+		b = append(b, ',')
+	}
+	b = append(b, `"ok":`...)
+	b = appendBool(b, r.OK)
+	if r.Error != nil {
+		b = append(b, `,"error":{"code":`...)
+		b = appendString(b, r.Error.Code)
+		b = append(b, `,"message":`...)
+		b = appendString(b, r.Error.Message)
+		b = append(b, '}')
+	}
+	if r.Artifact != "" {
+		b = append(b, `,"artifact":`...)
+		b = appendString(b, r.Artifact)
+	}
+	if r.Cached {
+		b = append(b, `,"cached":true`...)
+	}
+	if r.Funcs != 0 {
+		b = append(b, `,"funcs":`...)
+		b = strconv.AppendInt(b, int64(r.Funcs), 10)
+	}
+	if r.FuncsCompiled != 0 {
+		b = append(b, `,"funcs_compiled":`...)
+		b = strconv.AppendInt(b, int64(r.FuncsCompiled), 10)
+	}
+	if r.FuncsReused != 0 {
+		b = append(b, `,"funcs_reused":`...)
+		b = strconv.AppendInt(b, int64(r.FuncsReused), 10)
+	}
+	if r.CompileMS != 0 {
+		b = append(b, `,"compile_ms":`...)
+		b = strconv.AppendInt(b, r.CompileMS, 10)
+	}
+	if r.Session != "" {
+		b = append(b, `,"session":`...)
+		b = appendString(b, r.Session)
+	}
+	if r.Handle != "" {
+		b = append(b, `,"handle":`...)
+		b = appendString(b, r.Handle)
+	}
+	if r.Stop != nil {
+		b = append(b, `,"stop":{"func":`...)
+		b = appendString(b, r.Stop.Func)
+		b = append(b, `,"stmt":`...)
+		b = strconv.AppendInt(b, int64(r.Stop.Stmt), 10)
+		b = append(b, `,"line":`...)
+		b = strconv.AppendInt(b, int64(r.Stop.Line), 10)
+		b = append(b, '}')
+	}
+	if r.Exited {
+		b = append(b, `,"exited":true`...)
+	}
+	if r.Output != "" {
+		b = append(b, `,"output":`...)
+		b = appendString(b, r.Output)
+	}
+	if len(r.Vars) > 0 {
+		b = append(b, `,"vars":[`...)
+		for i := range r.Vars {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			v := &r.Vars[i]
+			b = append(b, `{"name":`...)
+			b = appendString(b, v.Name)
+			b = append(b, `,"state":`...)
+			b = appendString(b, v.State)
+			b = append(b, `,"display":`...)
+			b = appendString(b, v.Display)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if r.Stats != nil {
+		b = append(b, `,"stats":`...)
+		b = appendStats(b, r.Stats)
+	}
+	if len(r.Results) > 0 {
+		b = append(b, `,"results":[`...)
+		for i := range r.Results {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendResponse(b, &r.Results[i])
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// appendStats mirrors the Stats struct field for field; none of its
+// fields carry omitempty, so every field is emitted.
+func appendStats(b []byte, st *Stats) []byte {
+	field := func(name string, v int64) {
+		b = append(b, ',', '"')
+		b = append(b, name...)
+		b = append(b, '"', ':')
+		b = strconv.AppendInt(b, v, 10)
+	}
+	b = append(b, `{"sessions_active":`...)
+	b = strconv.AppendInt(b, st.SessionsActive, 10)
+	field("sessions_detached", st.SessionsDetached)
+	field("sessions_opened", st.SessionsOpened)
+	field("sessions_reaped", st.SessionsReaped)
+	field("conns_active", st.ConnsActive)
+	field("conns_total", st.ConnsTotal)
+	field("auth_failures", st.AuthFailures)
+	field("cache_hits", st.CacheHits)
+	field("cache_misses", st.CacheMisses)
+	field("cache_evictions", st.CacheEvictions)
+	field("cache_entries", int64(st.CacheEntries))
+	field("cache_memory_bytes", st.CacheMemoryBytes)
+	field("cache_memory_budget", st.CacheMemoryBudget)
+	field("cache_shards", int64(st.CacheShards))
+	field("analysis_bytes", st.AnalysisBytes)
+	field("spill_hits", st.SpillHits)
+	field("spill_misses", st.SpillMisses)
+	field("spill_writes", st.SpillWrites)
+	field("spill_errors", st.SpillErrors)
+	b = append(b, `,"spill_degraded":`...)
+	b = appendBool(b, st.SpillDegraded)
+	field("spill_degradations", st.SpillDegradations)
+	field("spill_probes", st.SpillProbes)
+	field("flush_errors", st.FlushErrors)
+	field("analyses_built", st.AnalysesBuilt)
+	field("cycles_executed", st.CyclesExecuted)
+	field("requests", st.Requests)
+	field("panics", st.Panics)
+	field("timeouts", st.Timeouts)
+	field("output_limits", st.OutputLimits)
+	field("vm_fast_runs", st.VMFastRuns)
+	field("vm_slow_runs", st.VMSlowRuns)
+	field("compile_workers", int64(st.CompileWorkers))
+	field("funcs_compiled", st.FuncsCompiled)
+	field("funcs_reused", st.FuncsReused)
+	field("compile_ms_total", st.CompileMSTotal)
+	field("func_cache_entries", int64(st.FuncCacheEntries))
+	field("func_cache_bytes", st.FuncCacheBytes)
+	field("func_cache_evictions", st.FuncCacheEvictions)
+	return append(b, '}')
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendString appends s as a JSON string exactly as encoding/json's
+// default (HTML-escaping) encoder renders it: '"', '\\', '\n', '\r',
+// '\t', '\b', '\f' get short escapes; other control bytes and '<', '>', '&' become
+// \u00xx; invalid UTF-8 becomes the six-byte escape \ufffd; U+2028 and
+// U+2029 are escaped for JavaScript embedding. Everything else is
+// copied verbatim.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			default:
+				// Control bytes without short escapes, plus <, >, &.
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fullStats populates every Stats field with a distinct value so a
+// swapped or missing field in appendStats cannot cancel out.
+func fullStats() *Stats {
+	return &Stats{
+		SessionsActive: 1, SessionsDetached: 2, SessionsOpened: 3, SessionsReaped: 4,
+		ConnsActive: 5, ConnsTotal: 6, AuthFailures: 7,
+		CacheHits: 8, CacheMisses: 9, CacheEvictions: 10, CacheEntries: 11,
+		CacheMemoryBytes: 12, CacheMemoryBudget: 13, CacheShards: 14, AnalysisBytes: 15,
+		SpillHits: 16, SpillMisses: 17, SpillWrites: 18, SpillErrors: 19,
+		SpillDegraded: true, SpillDegradations: 20, SpillProbes: 21, FlushErrors: 22,
+		AnalysesBuilt: 23, CyclesExecuted: -24, Requests: 25, Panics: 26, Timeouts: 27,
+		OutputLimits: 28, VMFastRuns: 29, VMSlowRuns: 30,
+		CompileWorkers: 31, FuncsCompiled: 32, FuncsReused: 33, CompileMSTotal: 34,
+		FuncCacheEntries: 35, FuncCacheBytes: 36, FuncCacheEvictions: 37,
+	}
+}
+
+func encodeCorpus() []*Response {
+	return []*Response{
+		{},
+		{OK: true},
+		{ID: 1, OK: true},
+		{ID: -7, OK: false, Error: &ProtoError{Code: CodeBadRequest, Message: "bad \"thing\""}},
+		{ID: 2, OK: true, Artifact: "sha:abc", Cached: true, Funcs: 12,
+			FuncsCompiled: 7, FuncsReused: 5, CompileMS: 31},
+		{OK: true, Session: "s-01", Handle: "h\u00e9llo"},
+		{OK: true, Stop: &StopInfo{Func: "main", Stmt: 0, Line: -1}},
+		{OK: true, Exited: true, Output: "1\n2\n3\n"},
+		{OK: true, Vars: []VarInfo{
+			{Name: "i", State: "current", Display: "i = 4"},
+			{Name: "", State: "", Display: ""},
+		}},
+		{OK: true, Vars: []VarInfo{}}, // empty non-nil slice: omitempty drops it
+		{OK: true, Stats: &Stats{}},
+		{OK: true, Stats: fullStats()},
+		{ID: 9, OK: true, Results: []Response{
+			{ID: 10, OK: true, Stop: &StopInfo{Func: "f", Stmt: 3, Line: 14}},
+			{ID: 11, OK: false, Error: &ProtoError{Code: CodeNoSuchVar, Message: "no var <x> & \"y\""}},
+			{ID: 12, OK: true, Results: nil},
+		}},
+		// String escaping: HTML-escaped runes, control bytes, quotes and
+		// backslashes, multibyte UTF-8, invalid UTF-8, U+2028/U+2029, DEL
+		// (which encoding/json does NOT escape).
+		{OK: true, Output: "<script>&amp;</script>"},
+		{OK: true, Output: "tab\there\nnl\rcr\x00nul\x1fus\x7fdel"},
+		{OK: true, Output: `back\slash "quote"`},
+		{OK: true, Output: "\u00fc\u4e16\u754c\U0001f600"},
+		{OK: true, Output: "bad\xff\xfebytes\xc3truncated"},
+		{OK: true, Output: "line\u2028sep\u2029para"},
+		{OK: true, Output: strings.Repeat("x", 3000)},
+	}
+}
+
+// TestAppendResponseGolden holds the append encoder byte-identical to
+// encoding/json over a corpus exercising every Response field and the
+// escaping edge cases.
+func TestAppendResponseGolden(t *testing.T) {
+	for i, r := range encodeCorpus() {
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("case %d: json.Marshal: %v", i, err)
+		}
+		got := appendResponse(nil, r)
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d: encoding mismatch\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+// TestAppendStringRandom fuzzes appendString against encoding/json with
+// random byte strings (often invalid UTF-8) and random rune strings.
+func TestAppendStringRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		var s string
+		if i%2 == 0 {
+			b := make([]byte, rng.Intn(64))
+			rng.Read(b)
+			s = string(b)
+		} else {
+			runes := make([]rune, rng.Intn(32))
+			for j := range runes {
+				switch rng.Intn(4) {
+				case 0:
+					runes[j] = rune(rng.Intn(0x80)) // ASCII incl. controls
+				case 1:
+					runes[j] = rune(0x2020 + rng.Intn(16)) // around U+2028/29
+				case 2:
+					runes[j] = rune(rng.Intn(0x3000))
+				default:
+					runes[j] = rune(0x10000 + rng.Intn(0x1000))
+				}
+			}
+			s = string(runes)
+		}
+		want, err := json.Marshal(&Response{OK: true, Output: s})
+		if err != nil {
+			t.Fatalf("json.Marshal(%q): %v", s, err)
+		}
+		got := appendResponse(nil, &Response{OK: true, Output: s})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("string %q:\n got: %s\nwant: %s", s, got, want)
+		}
+	}
+}
+
+// TestServeEncodingModes runs the same scripted connection under the
+// append encoder and under LegacyJSONEncoding and requires the wire
+// bytes to be identical.
+func TestServeEncodingModes(t *testing.T) {
+	script := strings.Join([]string{
+		`{"id":1,"cmd":"compile","name":"p","src":"int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } print s; return s; }"}`,
+		`{"id":2,"cmd":"stats"}`,
+		`{"id":3,"cmd":"nope"}`,
+		`{"id":4,"cmd":"batch","reqs":[{"id":5,"cmd":"stats"},{"id":6,"cmd":"nope"}]}`,
+	}, "\n") + "\n"
+
+	run := func(legacy bool) string {
+		s := New(Options{})
+		defer s.Close()
+		LegacyJSONEncoding.Store(legacy)
+		defer LegacyJSONEncoding.Store(false)
+		var out bytes.Buffer
+		if err := s.Serve(strings.NewReader(script), &out); err != nil {
+			t.Fatalf("Serve(legacy=%v): %v", legacy, err)
+		}
+		return out.String()
+	}
+
+	fast := run(false)
+	legacy := run(true)
+	// Stats lines carry live counters (requests, vm runs...) that differ
+	// between the two runs; compare structure line by line, and bytes on
+	// the stats-free lines.
+	fl, ll := strings.Split(fast, "\n"), strings.Split(legacy, "\n")
+	if len(fl) != len(ll) {
+		t.Fatalf("line count differs: %d vs %d\nfast: %q\nlegacy: %q", len(fl), len(ll), fast, legacy)
+	}
+	for i := range fl {
+		if strings.Contains(fl[i], `"stats"`) {
+			continue
+		}
+		if fl[i] != ll[i] {
+			t.Errorf("line %d differs\n  fast: %s\nlegacy: %s", i, fl[i], ll[i])
+		}
+	}
+	// And every fast-path line must itself re-marshal identically: decode
+	// then json.Marshal must reproduce the exact wire bytes.
+	for i, line := range fl {
+		if line == "" {
+			continue
+		}
+		var r Response
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, line)
+		}
+	}
+}
+
+func BenchmarkEncodeResponse(b *testing.B) {
+	resp := &Response{ID: 42, OK: true,
+		Stop:   &StopInfo{Func: "inner_loop", Stmt: 7, Line: 123},
+		Output: "checkpoint 100000\n"}
+	b.Run("stdlib", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			sink.Reset()
+			if err := json.NewEncoder(&sink).Encode(resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("append", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			sink.Reset()
+			if err := writeResponse(&sink, resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

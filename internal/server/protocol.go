@@ -175,6 +175,7 @@ const (
 	CodeNoSuchVar      = "no-such-var"
 	CodeBudget         = "budget-exceeded"
 	CodeTimeout        = "timeout"
+	CodeOutputLimit    = "output-limit"
 	CodeShuttingDown   = "shutting-down"
 	CodeInternal       = "internal"
 )
@@ -224,6 +225,17 @@ type Stats struct {
 	// deadline (-request-timeout); their cycle progress is still credited
 	// to cycles_executed.
 	Timeouts int64 `json:"timeouts"`
+	// OutputLimits counts continue/step commands cut off because the
+	// program printed past the output cap (-output-limit).
+	OutputLimits int64 `json:"output_limits"`
+
+	// VMFastRuns/VMSlowRuns count VM run-loop invocations by path since
+	// process start (process-wide, not per-server): the predecoded bitmap
+	// fast path vs the closure-predicate reference path. Steady serving
+	// load must keep VMSlowRuns flat — the CI bench smoke asserts exactly
+	// that.
+	VMFastRuns int64 `json:"vm_fast_runs"`
+	VMSlowRuns int64 `json:"vm_slow_runs"`
 
 	// Per-function compile pipeline: lifetime totals of back ends run vs.
 	// functions stitched from the incremental tier, cumulative pipeline

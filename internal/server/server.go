@@ -83,6 +83,10 @@ type Options struct {
 	// SpillProbeInterval is how often the degraded store probes the disk;
 	// <= 0 means the store's default.
 	SpillProbeInterval time.Duration
+	// OutputLimit caps how many bytes of program output one session may
+	// accumulate before continue/step is cut off with an output-limit
+	// error. 0 means the VM's default cap; negative means unlimited.
+	OutputLimit int64
 }
 
 // Defaults for Options.
@@ -153,6 +157,7 @@ type Server struct {
 	requests       atomic.Int64
 	panics         atomic.Int64
 	timeouts       atomic.Int64
+	outputLimits   atomic.Int64
 	connsActive    atomic.Int64
 	connsTotal     atomic.Int64
 	authFailures   atomic.Int64
@@ -349,7 +354,6 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), MaxLine)
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -369,7 +373,7 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 		if err := fault.Check("server.conn.write"); err != nil {
 			return err
 		}
-		if err := enc.Encode(resp); err != nil {
+		if err := writeResponse(bw, resp); err != nil {
 			return err
 		}
 		if err := bw.Flush(); err != nil {
@@ -382,7 +386,7 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 		if errors.Is(err, bufio.ErrTooLong) {
 			resp := errResp(0, CodeBadRequest,
 				fmt.Sprintf("request line exceeds %d bytes; closing connection", MaxLine))
-			if eerr := enc.Encode(resp); eerr == nil {
+			if eerr := writeResponse(bw, resp); eerr == nil {
 				bw.Flush()
 			}
 			return nil
@@ -390,6 +394,23 @@ func (s *Server) Serve(r io.Reader, w io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// writeResponse puts one response line on the wire: the pooled append
+// encoder by default, or encoding/json (byte-identical, slower) when
+// LegacyJSONEncoding is set. Both end the line with '\n', matching
+// json.Encoder.Encode.
+func writeResponse(w io.Writer, resp *Response) error {
+	if LegacyJSONEncoding.Load() {
+		return json.NewEncoder(w).Encode(resp)
+	}
+	bp := encBufs.Get().(*[]byte)
+	b := appendResponse((*bp)[:0], resp)
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	*bp = b
+	encBufs.Put(bp)
+	return err
 }
 
 // ListenAndServe accepts connections on l and serves each concurrently
@@ -616,6 +637,7 @@ func (s *Server) handleOpen(c *connState, req *Request) *Response {
 		return errResp(req.ID, CodeCompileError, err.Error())
 	}
 	dbg.VM.MaxSteps = s.opts.StepBudget
+	dbg.VM.MaxOutput = s.opts.OutputLimit
 
 	s.mu.Lock()
 	if len(s.sessions) >= s.opts.MaxSessions {
@@ -847,6 +869,9 @@ func (s *Server) errorOf(id int64, err error) *Response {
 	case errors.Is(err, vm.ErrDeadline):
 		code = CodeTimeout
 		s.timeouts.Add(1)
+	case errors.Is(err, vm.ErrOutputLimit):
+		code = CodeOutputLimit
+		s.outputLimits.Add(1)
 	}
 	return errResp(id, code, err.Error())
 }
@@ -903,7 +928,9 @@ func (s *Server) Snapshot() Stats {
 		Requests:          s.requests.Load(),
 		Panics:            s.panics.Load(),
 		Timeouts:          s.timeouts.Load(),
+		OutputLimits:      s.outputLimits.Load(),
 	}
+	st.VMFastRuns, st.VMSlowRuns = vm.PathStats()
 	ps := s.store.PipelineStats()
 	st.CompileWorkers = s.store.CompileWorkers()
 	st.FuncsCompiled = ps.FuncsCompiled

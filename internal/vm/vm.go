@@ -4,11 +4,22 @@
 // counts cycles using per-opcode latencies, and exposes the debugger hooks
 // the paper's model needs: run-to-breakpoint, single-step, and inspection
 // of registers and memory at the stopped position.
+//
+// Execution has two paths. The hot path (Run, RunBreaks) walks the
+// predecoded pc-indexed instruction array (see predecode.go) and tests a
+// breakpoint bitmap bit per instruction, with the step-budget and
+// wall-clock-deadline checks folded into one counter examined every
+// checkQuantum instructions. The reference path (RunUntilFunc) evaluates
+// an arbitrary stop predicate over a Pos before every instruction — the
+// legacy interface, kept as the differential oracle the equivalence tests
+// hold the fast path against, and for callers with stop conditions no
+// bitmap can express.
 package vm
 
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,6 +37,23 @@ var ErrStepLimit = errors.New("vm: step limit exceeded")
 // noticed: cycles and position reflect exactly the instructions executed,
 // so a timed-out continue still conserves the session's cycle accounting.
 var ErrDeadline = errors.New("vm: deadline exceeded")
+
+// ErrOutputLimit is returned (wrapped) when a program prints more than
+// MaxOutput bytes. The VM stays consistent: everything printed before the
+// limit is retained in Output, and the error is deterministic (the same
+// program trips it at the same print every run).
+var ErrOutputLimit = errors.New("vm: output limit exceeded")
+
+// DefaultMaxOutput bounds Output when MaxOutput is zero. Without a bound
+// a print-loop program grows the output buffer (and server memory)
+// without limit.
+const DefaultMaxOutput = 64 << 20
+
+// checkQuantum is how many instructions the hot loop executes between
+// slow checks (wall-clock deadline). It must be a power of two; the
+// single-step path keeps the same cadence so both paths read the clock on
+// the same step numbers.
+const checkQuantum = 1024
 
 // Val is one runtime value (integer word or float).
 type Val struct {
@@ -55,8 +83,11 @@ type Frame struct {
 	readyI  []int64
 	readyFv []int64
 
-	block *mach.Block
-	idx   int
+	// code/pc drive execution: pc indexes the function's predecoded flat
+	// instruction array. The debugger-visible (block, idx) position is
+	// derived from pc through the predecode tables.
+	code *funcCode
+	pc   int32
 	// where the caller wants the return value
 	retDst mach.Opd
 }
@@ -72,6 +103,9 @@ type Pos struct {
 type VM struct {
 	Prog *mach.Program
 
+	pcode *progCode
+	empty *BreakSet // lazily built all-clear set backing Run
+
 	mem   []slot // globals at [0, globalSlots), frames stacked above
 	sp    int64  // next free byte address for frames
 	out   strings.Builder
@@ -81,8 +115,12 @@ type VM struct {
 	Steps  int64
 	// MaxSteps bounds execution (0 = default limit).
 	MaxSteps int64
+	// MaxOutput bounds the program-output buffer in bytes: printing past
+	// it returns an error wrapping ErrOutputLimit. 0 means
+	// DefaultMaxOutput; negative means unlimited.
+	MaxOutput int64
 	// deadline, when nonzero, is a wall-clock bound (UnixNano) checked
-	// every 1024 steps; past it Step returns ErrDeadline.
+	// every checkQuantum steps; past it execution returns ErrDeadline.
 	deadline int64
 
 	halted bool
@@ -95,7 +133,7 @@ func New(prog *mach.Program) (*VM, error) {
 	if main == nil {
 		return nil, fmt.Errorf("vm: program has no main")
 	}
-	vm := &VM{Prog: prog, MaxSteps: 200_000_000}
+	vm := &VM{Prog: prog, pcode: predecode(prog), MaxSteps: 200_000_000}
 	globalBytes := prog.GlobalSize
 	vm.mem = make([]slot, (globalBytes/4)+4)
 	vm.sp = (globalBytes + 7) &^ 3
@@ -106,11 +144,12 @@ func New(prog *mach.Program) (*VM, error) {
 		}
 		vm.mem[off] = slot{i: init.Int, f: init.Fl}
 	}
-	vm.push(main, nil, mach.Opd{})
+	vm.push(vm.pcode.funcs[main], nil, mach.Opd{})
 	return vm, nil
 }
 
-func (vm *VM) push(fn *mach.Func, args []Val, retDst mach.Opd) {
+func (vm *VM) push(fc *funcCode, args []Val, retDst mach.Opd) {
+	fn := fc.fn
 	nInt, nFloat := fn.NumVregs, fn.NumVregs
 	if fn.Allocated {
 		nInt, nFloat = mach.NumIntRegs, mach.NumFloatRegs
@@ -123,7 +162,8 @@ func (vm *VM) push(fn *mach.Func, args []Val, retDst mach.Opd) {
 		readyFv: make([]int64, nFloat+1),
 		Base:    vm.sp,
 		Args:    args,
-		block:   fn.Entry,
+		code:    fc,
+		pc:      fc.entry,
 		retDst:  retDst,
 	}
 	need := (fn.FrameSize + 7) &^ 3
@@ -135,10 +175,10 @@ func (vm *VM) push(fn *mach.Func, args []Val, retDst mach.Opd) {
 }
 
 // SetDeadline bounds subsequent execution by wall-clock time: once t has
-// passed, Step (and hence Run/RunUntil) returns an error wrapping
-// ErrDeadline. The zero time clears the deadline. The check is amortized —
-// the clock is read once every 1024 steps — so steady-state stepping pays
-// one integer compare.
+// passed, execution returns an error wrapping ErrDeadline. The zero time
+// clears the deadline. The check is amortized — the clock is read once
+// every checkQuantum steps — so steady-state execution pays no per-step
+// time syscall.
 func (vm *VM) SetDeadline(t time.Time) {
 	if t.IsZero() {
 		vm.deadline = 0
@@ -170,21 +210,46 @@ func (vm *VM) Position() Pos {
 	if fr == nil {
 		return Pos{}
 	}
-	return Pos{Fn: fr.Fn, Block: fr.block, Idx: fr.idx}
+	fc := fr.code
+	return Pos{Fn: fr.Fn, Block: fc.blocks[fr.pc], Idx: int(fc.idxs[fr.pc])}
 }
 
 // CurrentInstr returns the instruction about to execute, or nil.
 func (vm *VM) CurrentInstr() *mach.Instr {
 	fr := vm.Top()
-	if fr == nil || fr.idx >= len(fr.block.Instrs) {
+	if fr == nil {
 		return nil
 	}
-	return fr.block.Instrs[fr.idx]
+	return fr.code.code[fr.pc].in
 }
 
-// Run executes until the program halts.
+// Run executes until the program halts, on the predecoded fast path.
 func (vm *VM) Run() error {
+	if vm.empty == nil {
+		vm.empty = vm.NewBreakSet()
+	}
+	return vm.RunBreaks(vm.empty, false)
+}
+
+// RunUntil executes until stop(pos) returns true (checked before each
+// instruction) or the program halts.
+//
+// Deprecated: RunUntil is the original name of RunUntilFunc and forwards
+// to it. Hot callers with fixed stop positions should compile a BreakSet
+// and use RunBreaks instead.
+func (vm *VM) RunUntil(stop func(Pos) bool) error { return vm.RunUntilFunc(stop) }
+
+// RunUntilFunc executes until stop(pos) returns true (checked before each
+// instruction) or the program halts. This is the reference slow path: it
+// builds a Pos and calls the predicate before every instruction, so it can
+// express stop conditions no bitmap can. The equivalence tests hold
+// RunBreaks to byte-identical behavior against it.
+func (vm *VM) RunUntilFunc(stop func(Pos) bool) error {
+	slowRuns.Add(1)
 	for !vm.halted {
+		if stop(vm.Position()) {
+			return nil
+		}
 		if err := vm.Step(); err != nil {
 			return err
 		}
@@ -192,15 +257,77 @@ func (vm *VM) Run() error {
 	return nil
 }
 
-// RunUntil executes until stop(pos) returns true (checked before each
-// instruction) or the program halts.
-func (vm *VM) RunUntil(stop func(Pos) bool) error {
-	for !vm.halted {
-		if stop(vm.Position()) {
-			return nil
-		}
+// RunBreaks executes until the current position's bit in bs is set
+// (checked before each instruction), the program halts, or the step
+// budget, deadline, or an execution fault cuts it off. It is the
+// predecoded fast path behind run-to-breakpoint and source-level step:
+// dispatch walks the flat instruction array and the stop check is one
+// bitmap bit test, with the budget and deadline checks folded into a
+// single fused counter examined every checkQuantum instructions (and at
+// every call/return, which re-establishes the per-function bitmap).
+//
+// When skipCurrent is set the first instruction executes unconditionally
+// before stopping is considered: resuming from a breakpoint must not
+// immediately re-trigger it.
+func (vm *VM) RunBreaks(bs *BreakSet, skipCurrent bool) error {
+	fastRuns.Add(1)
+	if bs == nil || bs.pc != vm.pcode {
+		return errors.New("vm: BreakSet was compiled for a different program")
+	}
+	if skipCurrent && !vm.halted {
 		if err := vm.Step(); err != nil {
 			return err
+		}
+	}
+	for !vm.halted {
+		fr := vm.stack[len(vm.stack)-1]
+		mask := bs.maskOf(fr.Fn)
+		// The fused counter: instructions until the next slow check — the
+		// deadline checkpoint (aligned to checkQuantum multiples of Steps,
+		// the same cadence the single-step path keeps) or the step budget,
+		// whichever comes first.
+		n := checkQuantum - vm.Steps&(checkQuantum-1)
+		if rem := vm.MaxSteps - vm.Steps; rem < n {
+			n = rem
+		}
+		if n <= 0 {
+			// Budget exhausted: a stop at the current position still wins
+			// (the stop check precedes the step attempt, as in the
+			// reference path).
+			pc := fr.pc
+			if mask != nil && mask[pc>>6]&(1<<(uint(pc)&63)) != 0 {
+				return nil
+			}
+			vm.Steps++
+			return fmt.Errorf("%w in %s", ErrStepLimit, fr.Fn.Name)
+		}
+		var steps int64
+		for {
+			pc := fr.pc
+			if mask != nil && mask[pc>>6]&(1<<(uint(pc)&63)) != 0 {
+				vm.Steps += steps
+				return nil
+			}
+			if steps == n {
+				break
+			}
+			steps++
+			changed, err := vm.exec1(fr)
+			if err != nil {
+				vm.Steps += steps
+				return err
+			}
+			if changed {
+				break
+			}
+		}
+		vm.Steps += steps
+		if vm.halted {
+			break
+		}
+		if vm.deadline != 0 && vm.Steps&(checkQuantum-1) == 0 &&
+			time.Now().UnixNano() > vm.deadline {
+			return fmt.Errorf("%w in %s", ErrDeadline, vm.Top().Fn.Name)
 		}
 	}
 	return nil
@@ -280,18 +407,55 @@ func (vm *VM) Step() error {
 	if vm.Steps > vm.MaxSteps {
 		return fmt.Errorf("%w in %s", ErrStepLimit, fr.Fn.Name)
 	}
-	if vm.deadline != 0 && vm.Steps&1023 == 0 && time.Now().UnixNano() > vm.deadline {
+	if vm.deadline != 0 && vm.Steps&(checkQuantum-1) == 0 && time.Now().UnixNano() > vm.deadline {
 		return fmt.Errorf("%w in %s", ErrDeadline, fr.Fn.Name)
 	}
-	if fr.idx >= len(fr.block.Instrs) {
-		// Fell off an unterminated block: treat as void return.
-		return vm.doReturn(Val{})
-	}
-	in := fr.block.Instrs[fr.idx]
-	vm.accountCycles(fr, in)
-	fr.idx++
+	_, err := vm.exec1(fr)
+	return err
+}
 
-	switch in.Op {
+// exec1 executes the instruction at fr.pc, advancing pc. It reports
+// whether the top frame changed (call, return, or halt), in which case
+// the caller must reload its frame-derived state.
+func (vm *VM) exec1(fr *Frame) (frameChanged bool, err error) {
+	fc := fr.code
+	d := &fc.code[fr.pc]
+	in := d.in
+	if in == nil {
+		// Fell off an unterminated block: treat as void return.
+		return true, vm.doReturn(Val{})
+	}
+
+	// Cycle accounting: one issue slot per instruction plus stalls until
+	// register operands are ready; the destination becomes ready after the
+	// opcode's latency. The use/def register lists were precomputed at
+	// predecode time.
+	if d.acct {
+		issue := vm.Cycles
+		for _, u := range fc.uses[d.useOff : d.useOff+d.useN] {
+			var r int64
+			if u.fl {
+				r = fr.readyFv[u.r]
+			} else {
+				r = fr.readyI[u.r]
+			}
+			if r > issue {
+				issue = r
+			}
+		}
+		vm.Cycles = issue + 1
+		if d.defsReg {
+			done := issue + int64(d.lat)
+			if d.defFl {
+				fr.readyFv[d.defR] = done
+			} else {
+				fr.readyI[d.defR] = done
+			}
+		}
+	}
+	fr.pc++
+
+	switch d.op {
 	case mach.NOP, mach.MARKDEAD, mach.MARKAVAIL:
 		// no effect
 
@@ -306,7 +470,7 @@ func (vm *VM) Step() error {
 	case mach.LA:
 		addr, ok := vm.AddrOf(fr, in.Sym)
 		if !ok {
-			return fmt.Errorf("vm: la of unknown symbol %s", in.Sym.Name)
+			return false, fmt.Errorf("vm: la of unknown symbol %s", in.Sym.Name)
 		}
 		vm.setReg(fr, in.Dst, Val{I: addr})
 
@@ -314,7 +478,7 @@ func (vm *VM) Step() error {
 		base := vm.regVal(fr, in.A).I
 		addr := base + in.Off
 		if addr < 0 || addr/4 >= int64(len(vm.mem)) {
-			return fmt.Errorf("vm: %s out of bounds at %d (stmt %d in %s)", in.Op, addr, in.Stmt, fr.Fn.Name)
+			return false, fmt.Errorf("vm: %s out of bounds at %d (stmt %d in %s)", in.Op, addr, in.Stmt, fr.Fn.Name)
 		}
 		if in.Op == mach.FLW {
 			vm.setReg(fr, in.Dst, Val{F: vm.mem[addr/4].f, IsF: true})
@@ -326,7 +490,7 @@ func (vm *VM) Step() error {
 		base := vm.regVal(fr, in.A).I
 		addr := base + in.Off
 		if addr < 0 || addr/4 >= int64(len(vm.mem)) {
-			return fmt.Errorf("vm: %s out of bounds at %d (stmt %d in %s)", in.Op, addr, in.Stmt, fr.Fn.Name)
+			return false, fmt.Errorf("vm: %s out of bounds at %d (stmt %d in %s)", in.Op, addr, in.Stmt, fr.Fn.Name)
 		}
 		v := vm.regVal(fr, in.B)
 		if in.Op == mach.FSW {
@@ -354,90 +518,79 @@ func (vm *VM) Step() error {
 		vm.mem[(fr.Base+in.Off)/4] = slot{f: f}
 
 	case mach.CALL:
-		callee := vm.Prog.LookupFunc(in.Callee)
+		callee := d.callee
 		if callee == nil {
-			return fmt.Errorf("vm: call of unknown function %q", in.Callee)
+			return false, fmt.Errorf("vm: call of unknown function %q", in.Callee)
 		}
 		args := make([]Val, len(in.Args))
 		for i, a := range in.Args {
 			args[i] = vm.regVal(fr, a)
 		}
 		vm.push(callee, args, in.Dst)
+		return true, nil
 
 	case mach.RET:
 		var v Val
 		if in.A.Kind != mach.None {
 			v = vm.regVal(fr, in.A)
 		}
-		return vm.doReturn(v)
+		return true, vm.doReturn(v)
 
 	case mach.J:
-		fr.block = fr.block.Succs[0]
-		fr.idx = 0
+		fr.pc = d.t0
 
 	case mach.BNEZ:
 		c := vm.regVal(fr, in.A)
-		taken := c.I != 0 || (c.IsF && c.F != 0)
-		if taken {
-			fr.block = fr.block.Succs[0]
+		if c.I != 0 || (c.IsF && c.F != 0) {
+			fr.pc = d.t0
 		} else {
-			fr.block = fr.block.Succs[1]
+			fr.pc = d.t1
 		}
-		fr.idx = 0
 
 	case mach.PRINT:
-		for _, a := range in.PrintFmt {
-			if a.IsStr {
-				vm.out.WriteString(a.Str)
-			} else {
-				v := vm.regVal(fr, a.Val)
-				if v.IsF {
-					fmt.Fprintf(&vm.out, "%g", v.F)
-				} else {
-					fmt.Fprintf(&vm.out, "%d", v.I)
-				}
-			}
+		if err := vm.doPrint(fr, in); err != nil {
+			return false, err
 		}
 
 	default:
 		v, err := vm.alu(fr, in)
 		if err != nil {
-			return fmt.Errorf("vm: %w (stmt %d in %s)", err, in.Stmt, fr.Fn.Name)
+			return false, fmt.Errorf("vm: %w (stmt %d in %s)", err, in.Stmt, fr.Fn.Name)
 		}
 		vm.setReg(fr, in.Dst, v)
 	}
-	return nil
+	return false, nil
 }
 
-// accountCycles advances the clock: one issue slot per instruction plus
-// stalls until register operands are ready; the destination becomes ready
-// after the opcode's latency.
-func (vm *VM) accountCycles(fr *Frame, in *mach.Instr) {
-	if in.Op == mach.NOP || in.IsMarker() {
-		return
+// doPrint renders one PRINT into the output buffer, enforcing MaxOutput.
+// Numbers format exactly as fmt's %d and %g would (strconv with the 'g'
+// shortest form is the same rendering, without fmt's interface and state
+// allocations). The limit is checked piece by piece, so output up to the
+// limit is retained and the trip point is deterministic.
+func (vm *VM) doPrint(fr *Frame, in *mach.Instr) error {
+	limit := vm.MaxOutput
+	if limit == 0 {
+		limit = DefaultMaxOutput
 	}
-	var buf [8]mach.Opd
-	issue := vm.Cycles
-	for _, u := range in.Uses(buf[:0]) {
-		var r int64
-		if u.Class == mach.FloatClass {
-			r = fr.readyFv[u.R]
+	var scratch [32]byte
+	for _, a := range in.PrintFmt {
+		var s string
+		if a.IsStr {
+			s = a.Str
 		} else {
-			r = fr.readyI[u.R]
+			v := vm.regVal(fr, a.Val)
+			if v.IsF {
+				s = string(strconv.AppendFloat(scratch[:0], v.F, 'g', -1, 64))
+			} else {
+				s = string(strconv.AppendInt(scratch[:0], v.I, 10))
+			}
 		}
-		if r > issue {
-			issue = r
+		if limit > 0 && int64(vm.out.Len())+int64(len(s)) > limit {
+			return fmt.Errorf("%w (%d bytes, stmt %d in %s)", ErrOutputLimit, limit, in.Stmt, fr.Fn.Name)
 		}
+		vm.out.WriteString(s)
 	}
-	vm.Cycles = issue + 1
-	if d := in.Def(); d.IsReg() {
-		done := issue + int64(in.Op.Latency())
-		if d.Class == mach.FloatClass {
-			fr.readyFv[d.R] = done
-		} else {
-			fr.readyI[d.R] = done
-		}
-	}
+	return nil
 }
 
 func (vm *VM) doReturn(v Val) error {
