@@ -142,6 +142,141 @@ func TestScriptedTranscript(t *testing.T) {
 	}
 }
 
+// The SROA walkthrough program (examples/sroa): one struct whose three
+// fields end at the print with three different verdicts — sum current,
+// bias eliminated but recovered as the constant 20, scratch noncurrent
+// with no recovery.
+const sroaProg = `
+struct Acc { int sum; int bias; int scratch; };
+
+int f(int n) {
+  struct Acc a;
+  int i;
+  a.sum = 0;
+  a.bias = 20;
+  a.scratch = n * 3;
+  for (i = 0; i < n; i = i + 1) {
+    a.sum = a.sum + a.scratch + i;
+  }
+  a.scratch = a.sum * 5;
+  print(a.sum);
+  return a.sum;
+}
+
+int main() { return f(7); }
+`
+
+// TestSROATranscript is the aggregate-debugging golden transcript: the
+// Figure 5(a) configuration (O2, no regalloc) over the wire, stopping at
+// the print and asserting one field current, one endangered-with-recovery,
+// one noncurrent — each display identical to the library session (the way
+// mcdbg renders it), the aggregate report carrying nested per-field
+// sub-reports, and the server's SROA counters advancing.
+func TestSROATranscript(t *testing.T) {
+	s := server.New(server.Options{})
+	noRegs := false
+	resps := runTranscript(t, s, []server.Request{
+		{ID: 1, Cmd: "compile", Name: "sroa.mc", Src: sroaProg,
+			Config: &server.ConfigSpec{Opt: "O2", RegAlloc: &noRegs}},
+	})
+	if len(resps) != 1 || !resps[0].OK || resps[0].Artifact == "" {
+		t.Fatalf("compile = %+v", resps)
+	}
+	art := resps[0].Artifact
+
+	resps = runTranscript(t, s, []server.Request{{ID: 2, Cmd: "open-session", Artifact: art}})
+	sess, handle := resps[0].Session, resps[0].Handle
+	if sess == "" || handle == "" {
+		t.Fatalf("open-session = %+v", resps[0])
+	}
+
+	resps = runTranscript(t, s, []server.Request{
+		{ID: 3, Cmd: "break", Session: sess, Handle: handle, Line: 13},
+		{ID: 4, Cmd: "continue", Session: sess},
+		{ID: 5, Cmd: "print", Session: sess, Var: "a"},
+		{ID: 6, Cmd: "print", Session: sess, Var: "a.sum"},
+		{ID: 7, Cmd: "print", Session: sess, Var: "a.bias"},
+		{ID: 8, Cmd: "print", Session: sess, Var: "a.scratch"},
+		{ID: 9, Cmd: "stats"},
+	})
+	if len(resps) != 7 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	cont := resps[1]
+	if !cont.OK || cont.Stop == nil || cont.Exited || cont.Stop.Func != "f" {
+		t.Fatalf("continue = %+v", cont)
+	}
+
+	// The same session through the library, the way cmd/mcdbg drives it:
+	// wire displays must be identical.
+	a, err := minic.Compile("sroa.mc", sroaProg, minic.WithOptLevel(2), minic.WithRegAlloc(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := minic.NewSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BreakAtLine(13); err != nil {
+		t.Fatal(err)
+	}
+	if bp, err := d.Continue(); err != nil || bp == nil {
+		t.Fatalf("continue: %v %v", bp, err)
+	}
+	for i, name := range []string{"a", "a.sum", "a.bias", "a.scratch"} {
+		r := resps[2+i]
+		if !r.OK || len(r.Vars) != 1 {
+			t.Fatalf("print %s = %+v", name, r)
+		}
+		want, err := d.Print(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Vars[0].Display; got != want.Display() {
+			t.Errorf("print %s over protocol = %q, mcdbg says %q", name, got, want.Display())
+		}
+	}
+
+	// The three verdicts of the walkthrough, pinned.
+	agg, sum, bias, scratch := resps[2].Vars[0], resps[3].Vars[0], resps[4].Vars[0], resps[5].Vars[0]
+	if sum.State != "current" || strings.Contains(sum.Display, "WARNING") {
+		t.Errorf("a.sum should be current: %+v", sum)
+	}
+	if !strings.Contains(bias.Display, "recovered") || !strings.Contains(bias.Display, "constant 20") {
+		t.Errorf("a.bias should be recovered as constant 20: %q", bias.Display)
+	}
+	if scratch.State != "noncurrent" || !strings.Contains(scratch.Display, "WARNING: noncurrent") ||
+		strings.Contains(scratch.Display, "recovered") {
+		t.Errorf("a.scratch should be noncurrent without recovery: %+v", scratch)
+	}
+	// The aggregate itemizes its fields as nested sub-reports and is
+	// reported partially resident.
+	if agg.State != "noncurrent" || !strings.Contains(agg.Display, "partially resident") {
+		t.Errorf("aggregate a = %+v", agg)
+	}
+	if len(agg.Fields) != 3 {
+		t.Fatalf("aggregate a carries %d field reports, want 3: %+v", len(agg.Fields), agg.Fields)
+	}
+	for i, want := range []string{"a.sum", "a.bias", "a.scratch"} {
+		if agg.Fields[i].Name != want {
+			t.Errorf("field %d = %q, want %q", i, agg.Fields[i].Name, want)
+		}
+	}
+
+	// SROA instrumentation: the compile split at least one aggregate, and
+	// the prints classified fields.
+	st := resps[6].Stats
+	if st == nil {
+		t.Fatalf("stats = %+v", resps[6])
+	}
+	if st.SROASplits < 1 {
+		t.Errorf("stats.SROASplits = %d, want >= 1", st.SROASplits)
+	}
+	if st.FieldsClassified < 3 {
+		t.Errorf("stats.FieldsClassified = %d, want >= 3", st.FieldsClassified)
+	}
+}
+
 // mcdbgDisplays reproduces `mcdbg fig3.mc break g 1 continue info` using
 // the same public API the CLI uses, returning name -> display line.
 func mcdbgDisplays(t *testing.T) map[string]string {

@@ -1,0 +1,79 @@
+// SROA: a walkthrough of debugging a decomposed aggregate. Scalar
+// replacement of aggregates splits a non-address-taken struct into one
+// scalar per field, after which each field is optimized — and endangered —
+// independently. The debugger therefore classifies *per field*: at one
+// breakpoint a struct can be simultaneously current in one field, dead but
+// recoverable in another, and noncurrent in a third. Printing the whole
+// aggregate reports it as partially resident and itemizes the fields.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/minic"
+)
+
+// f's struct ends up with three different per-field fates at the print:
+//   - a.sum      written every loop iteration, live at the stop: current;
+//   - a.bias     only ever holds 20 and every read was constant-folded, so
+//     its store is deleted; the marker records the constant:
+//     noncurrent but *recovered*;
+//   - a.scratch  its final assignment (a.sum * 5) is dead code, deleted
+//     with no recoverable location: noncurrent, stale value.
+const prog = `
+struct Acc { int sum; int bias; int scratch; };
+
+int f(int n) {
+  struct Acc a;
+  int i;
+  a.sum = 0;
+  a.bias = 20;
+  a.scratch = n * 3;
+  for (i = 0; i < n; i = i + 1) {
+    a.sum = a.sum + a.scratch + i;
+  }
+  a.scratch = a.sum * 5;
+  print(a.sum);
+  return a.sum;
+}
+
+int main() { return f(7); }
+`
+
+func main() {
+	// Figure 5(a) configuration: full scalar optimization, no register
+	// allocator, so every surviving value keeps its own location and the
+	// per-field verdicts are purely the scalar pipeline's doing.
+	art, err := minic.Compile("sroa.mc", prog,
+		minic.WithOptLevel(2), minic.WithRegAlloc(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("### SROA splits a into a.sum / a.bias / a.scratch ###")
+	fmt.Println("(note the per-field member variables and the markers left")
+	fmt.Println("where eliminated field assignments used to be)")
+	fmt.Println(art.Func("f").String())
+
+	dbg, err := minic.NewSession(art)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Break at the print statement, after the dead final store to scratch.
+	if _, err := dbg.BreakAtLine(13); err != nil {
+		log.Fatal(err)
+	}
+	if bp, err := dbg.Continue(); err != nil || bp == nil {
+		log.Fatalf("stop failed: %v", err)
+	}
+
+	fmt.Println("### one struct, three verdicts ###")
+	for _, name := range []string{"a", "a.sum", "a.bias", "a.scratch"} {
+		r, err := dbg.Print(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("debugger> print %s\n%s\n", name, r.Display())
+	}
+}

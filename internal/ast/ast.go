@@ -79,7 +79,46 @@ func (t *ArrayType) String() string { return fmt.Sprintf("%s[%d]", t.Elem, t.Len
 // Size returns the total byte size of the array.
 func (t *ArrayType) Size() int { return t.Elem.Size() * t.Len }
 
-// SameType reports structural type equality.
+// StructField is one named member of a struct type. All fields are scalar
+// (int or float), each occupying one 4-byte slot at offset 4*index.
+type StructField struct {
+	Name string
+	Type Type // int or float
+}
+
+// StructType is a named aggregate of scalar fields. Struct types are
+// declared at file scope and compared nominally (by declaration identity):
+// two structs with the same field layout are still distinct types.
+type StructType struct {
+	Name   string
+	Fields []StructField
+}
+
+func (t *StructType) String() string { return "struct " + t.Name }
+
+// Size returns the total byte size: one 4-byte slot per field.
+func (t *StructType) Size() int { return 4 * len(t.Fields) }
+
+// FieldIndex returns the index of the named field, or -1.
+func (t *StructType) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FieldOffset returns the byte offset of field i.
+func (t *StructType) FieldOffset(i int) int { return 4 * i }
+
+// IsStruct reports whether t is a struct type.
+func IsStruct(t Type) bool {
+	_, ok := t.(*StructType)
+	return ok
+}
+
+// SameType reports structural type equality (structs compare nominally).
 func SameType(a, b Type) bool {
 	switch a := a.(type) {
 	case *BasicType:
@@ -91,6 +130,9 @@ func SameType(a, b Type) bool {
 	case *ArrayType:
 		b, ok := b.(*ArrayType)
 		return ok && a.Len == b.Len && SameType(a.Elem, b.Elem)
+	case *StructType:
+		b, ok := b.(*StructType)
+		return ok && a == b
 	}
 	return false
 }
@@ -150,6 +192,19 @@ type Object struct {
 	// ScopeStart/ScopeEnd delimit (by statement ID) where the variable is
 	// in scope inside its function; used for "variables per breakpoint".
 	ScopeStart, ScopeEnd int
+
+	// Members lists a struct-typed variable's materialized per-field
+	// objects, in field order; nil for non-aggregates.
+	Members []*Object
+
+	// Base and FieldIdx link a struct *member* object back to its aggregate.
+	// The checker materializes one member object per field of every
+	// struct-typed variable (named "base.field", sharing the base's scope)
+	// so that SROA can promote individual fields to scalar pseudo-registers
+	// while the classifier keeps a dense per-field entry. Base is nil for
+	// ordinary variables and for the aggregate object itself.
+	Base     *Object
+	FieldIdx int
 }
 
 func (o *Object) String() string { return o.Name }
@@ -256,6 +311,18 @@ type IndexExpr struct {
 	exprBase
 	X     Expr
 	Index Expr
+}
+
+// FieldExpr is s.f — selection of a struct field. After checking, Idx is
+// the field's index in the struct's layout; if X is an identifier naming a
+// struct variable, Member is the checker-materialized member object for
+// that (variable, field) pair.
+type FieldExpr struct {
+	exprBase
+	X      Expr
+	Name   string
+	Idx    int
+	Member *Object // non-nil when X is a direct struct variable reference
 }
 
 // CallExpr is f(args...).
@@ -452,9 +519,20 @@ type FuncDecl struct {
 // Span returns the function's source extent.
 func (d *FuncDecl) Span() source.Span { return d.Spn }
 
+// StructDecl declares a file-scope struct type.
+type StructDecl struct {
+	Name string
+	Typ  *StructType // filled by the parser; fields checked by sem
+	Spn  source.Span
+}
+
+// Span returns the declaration's source extent.
+func (d *StructDecl) Span() source.Span { return d.Spn }
+
 // File is a parsed MiniC translation unit.
 type File struct {
 	Source  *source.File
+	Structs []*StructDecl
 	Globals []*VarDecl
 	Funcs   []*FuncDecl
 }

@@ -35,7 +35,7 @@ import (
 
 // funcKeyVersion guards the canonical hash layout; bump on any change to
 // what or how hashFunc/GlobalsSigOf write.
-const funcKeyVersion = 1
+const funcKeyVersion = 2
 
 // FuncKey identifies one function's compiled artifact by content.
 type FuncKey [sha256.Size]byte
@@ -166,9 +166,23 @@ func (w *keyWriter) obj(o *ast.Object) {
 	w.str(o.Name)
 	w.int(int(o.Kind))
 	w.str(o.Type.String())
+	// StructType.String() is just "struct <name>": the layout (ordered field
+	// names and types) determines member offsets and the SROA decomposition,
+	// so it must be part of the key — reordering fields must miss the cache.
+	if st, ok := o.Type.(*ast.StructType); ok {
+		w.int(len(st.Fields))
+		for _, fld := range st.Fields {
+			w.str(fld.Name)
+			w.str(fld.Type.String())
+		}
+	}
 	w.bool(o.Addressed)
 	w.int(o.ScopeStart)
 	w.int(o.ScopeEnd)
+	// Member objects carry their aggregate linkage: which base they belong
+	// to and at which field slot (drives unsplit memory access offsets).
+	w.i32(encObj(o.Base))
+	w.int(o.FieldIdx)
 }
 
 func (w *keyWriter) opd(o ir.Operand) {

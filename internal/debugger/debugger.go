@@ -285,14 +285,45 @@ type VarReport struct {
 	// SrcLines are the source lines of the assignments responsible for
 	// the endangerment (resolved from Class.SrcStmts).
 	SrcLines []int
+	// Fields holds per-field sub-reports when the variable is a struct
+	// aggregate (one per field, in declaration order). The aggregate's
+	// own Class summarizes the fields.
+	Fields []*VarReport
 }
 
 // Display renders the report the way the paper's debugger model prescribes:
 // the value (or recovered value), always accompanied by a warning when the
 // variable is endangered.
 func (r *VarReport) Display() string {
+	return fmt.Sprintf("%s = %s", r.Name, r.valueText())
+}
+
+// valueText renders the value part of the report (everything after
+// "name = "), including any endangerment warning.
+func (r *VarReport) valueText() string {
+	if len(r.Fields) > 0 {
+		// Aggregate: render each field's own report inside braces, with the
+		// short field name; the per-field warnings carry the detail, so the
+		// aggregate-level text only flags the summary state.
+		var b strings.Builder
+		b.WriteString("{")
+		for i, fr := range r.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			name := fr.Name
+			if dot := strings.LastIndex(name, "."); dot >= 0 {
+				name = name[dot+1:]
+			}
+			fmt.Fprintf(&b, "%s = %s", name, fr.valueText())
+		}
+		b.WriteString("}")
+		if r.Class.State != core.Current {
+			fmt.Fprintf(&b, " (WARNING: %s — %s)", r.Class.State, r.Class.Why)
+		}
+		return b.String()
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s = ", r.Name)
 	switch {
 	case r.HasRecovered:
 		b.WriteString(fmtVal(r.RecoveredVal))
@@ -366,14 +397,72 @@ func (d *Debugger) Print(name string) (*VarReport, error) {
 				return d.reportGlobal(g)
 			}
 		}
+		// Global struct fields have no member objects; "g.f" is resolved
+		// against the global's layout and read straight from the data
+		// segment.
+		if base, field, ok := strings.Cut(name, "."); ok {
+			for _, g := range d.Res.Mach.Globals {
+				if g.Name != base {
+					continue
+				}
+				st, isSt := g.Type.(*ast.StructType)
+				if !isSt {
+					break
+				}
+				idx := st.FieldIndex(field)
+				if idx < 0 {
+					return nil, fmt.Errorf("debugger: %w: %q has no field %q", ErrNoSuchVar, base, field)
+				}
+				return d.reportGlobalField(g, st, idx)
+			}
+		}
 		return nil, fmt.Errorf("debugger: %w: %q at this breakpoint", ErrNoSuchVar, name)
 	}
 	return d.report(bp, obj)
 }
 
+// reportGlobalField reads one field of a global struct from the data
+// segment. Global aggregates are never split (they are address-taken by
+// construction), so their fields are always memory-resident and current.
+func (d *Debugger) reportGlobalField(g *ast.Object, st *ast.StructType, idx int) (*VarReport, error) {
+	name := g.Name + "." + st.Fields[idx].Name
+	r := &VarReport{Name: name, Class: core.Classification{Var: g, State: core.Current}}
+	off, ok := d.Res.Mach.GlobalOff[g]
+	if !ok {
+		return r, nil
+	}
+	addr := off + int64(st.FieldOffset(idx))
+	if ast.IsFloat(st.Fields[idx].Type) {
+		x, err := d.VM.ReadMemFloat(addr)
+		if err != nil {
+			return nil, err
+		}
+		r.HasVal = true
+		r.Val = vm.Val{F: x, IsF: true}
+		return r, nil
+	}
+	x, err := d.VM.ReadMemInt(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.HasVal = true
+	r.Val = vm.Val{I: x}
+	return r, nil
+}
+
 // reportGlobal reads a global scalar from the data segment.
 func (d *Debugger) reportGlobal(g *ast.Object) (*VarReport, error) {
 	r := &VarReport{Name: g.Name, Class: core.Classification{Var: g, State: core.Current}}
+	if st, ok := g.Type.(*ast.StructType); ok {
+		for i := range st.Fields {
+			fr, err := d.reportGlobalField(g, st, i)
+			if err != nil {
+				return nil, err
+			}
+			r.Fields = append(r.Fields, fr)
+		}
+		return r, nil
+	}
 	off, ok := d.Res.Mach.GlobalOff[g]
 	if !ok {
 		return r, nil
@@ -405,6 +494,11 @@ func (d *Debugger) Info() ([]*VarReport, error) {
 	a := d.analysisOf(bp.Fn)
 	var out []*VarReport
 	for _, v := range a.Table.VarsInScope(bp.Stmt) {
+		// Struct members are grouped under their base aggregate's report
+		// (as Fields) rather than listed as free-standing locals.
+		if v.Base != nil {
+			continue
+		}
 		r, err := d.report(bp, v)
 		if err != nil {
 			return nil, err
@@ -427,6 +521,45 @@ func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
 		}
 	}
 	fr := d.VM.Top()
+
+	// Struct aggregate: report field by field. Each member carries its own
+	// classification (from cls.Fields when split, Current-in-memory when
+	// the aggregate kept its frame slot), its own value, and its own
+	// recovery.
+	if len(obj.Members) > 0 {
+		for i, m := range obj.Members {
+			var sub *VarReport
+			if i < len(cls.Fields) {
+				sub = &VarReport{Name: m.Name, Class: cls.Fields[i]}
+			} else {
+				mc, ok := a.ClassifyAt(bp.Stmt, m)
+				if !ok {
+					mc = core.Classification{Var: m, State: core.Current}
+				}
+				sub = &VarReport{Name: m.Name, Class: mc}
+			}
+			for _, s := range sub.Class.SrcStmts {
+				if l := d.stmtLine(bp.Fn, s); l > 0 {
+					sub.SrcLines = append(sub.SrcLines, l)
+				}
+			}
+			if fr != nil && fr.Fn == bp.Fn {
+				if v, ok := d.readActual(fr, m); ok {
+					sub.HasVal = true
+					sub.Val = v
+				}
+				if sub.Class.Recovered != nil {
+					if v, ok := d.readRecovered(fr, sub.Class.Recovered); ok {
+						sub.HasRecovered = true
+						sub.RecoveredVal = v
+					}
+				}
+			}
+			r.Fields = append(r.Fields, sub)
+		}
+		return r, nil
+	}
+
 	if fr == nil || fr.Fn != bp.Fn {
 		return r, nil
 	}
@@ -447,6 +580,31 @@ func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
 func (d *Debugger) readActual(fr *vm.Frame, obj *ast.Object) (vm.Val, bool) {
 	f := fr.Fn
 	isFloat := ast.IsFloat(obj.Type)
+	// A struct member whose base aggregate still owns its frame slot has no
+	// location of its own: the field lives in the aggregate's memory at a
+	// constant offset. (After SROA the base is gone from the frame and the
+	// member reads like any scalar below.)
+	if obj.Base != nil {
+		if _, inFrame := f.FrameOff[obj.Base]; inFrame {
+			addr, ok := d.VM.AddrOf(fr, obj.Base)
+			if !ok {
+				return vm.Val{}, false
+			}
+			addr += 4 * int64(obj.FieldIdx)
+			if isFloat {
+				x, err := d.VM.ReadMemFloat(addr)
+				if err != nil {
+					return vm.Val{}, false
+				}
+				return vm.Val{F: x, IsF: true}, true
+			}
+			x, err := d.VM.ReadMemInt(addr)
+			if err != nil {
+				return vm.Val{}, false
+			}
+			return vm.Val{I: x}, true
+		}
+	}
 	if obj.Addressed {
 		addr, ok := d.VM.AddrOf(fr, obj)
 		if !ok {

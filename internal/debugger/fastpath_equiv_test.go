@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/debuginfo"
 	"repro/internal/randprog"
 	"repro/internal/vm"
 )
@@ -146,6 +148,154 @@ func TestFastPathEquivRandprog(t *testing.T) {
 			}
 		}
 	}
+}
+
+// stopRec is one stop of a continue-only run: which breakpoint fired,
+// whether it resolved to the statement's own code (no fallback), and the
+// per-field reports of every struct aggregate in scope.
+type stopRec struct {
+	key   string // "fn:stmt" of the breakpoint that fired
+	exact bool   // breakpoint location is the statement's own code
+	snap  map[string]*VarReport
+}
+
+// continueTrace drives a debugger with plain Continues (no stepping, so
+// the stop schedule is comparable across *configurations*, not just
+// engines), recording every stop.
+func continueTrace(t *testing.T, d *Debugger, brk [][2]any, maxStops int) []stopRec {
+	t.Helper()
+	for _, b := range brk {
+		d.BreakAtStmt(b[0].(string), b[1].(int))
+	}
+	var out []stopRec
+	for i := 0; i < maxStops; i++ {
+		bp, err := d.Continue()
+		if err != nil || bp == nil {
+			return out
+		}
+		r := stopRec{
+			key:   fmt.Sprintf("%s:%d", bp.Fn.Name, bp.Stmt),
+			exact: debuginfo.StmtOfLoc(bp.Loc) == bp.Stmt,
+			snap:  map[string]*VarReport{},
+		}
+		if reports, err := d.Info(); err == nil {
+			for _, rep := range reports {
+				for _, fr := range rep.Fields {
+					r.snap[fr.Name] = fr
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestSROAPerFieldCurrentVsO0 is the end-to-end honesty check for
+// per-field classification: over a ≥50-seed corpus of struct-bearing
+// generated programs, every struct field the optimized-build debugger
+// reports as *current* (and every recovered value it reconstructs) must
+// equal the value the unoptimized build shows at the same dynamic point.
+//
+// Alignment: both builds run the same breakpoint schedule under plain
+// Continue, and values are compared at the *first* arrival at each
+// breakpoint. Execution is deterministic and stops don't perturb it, so
+// the first time control reaches a statement's own code is the same
+// source-level event in both builds — even when unrolling or loop
+// inversion changes how often the breakpoint fires afterwards (clones
+// get fresh emission indices, so the breakpoint location stays on the
+// original copy, which executes first). Breakpoints that resolved by
+// falling back to a later statement are skipped: the two builds may
+// then be stopped at genuinely different source points.
+func TestSROAPerFieldCurrentVsO0(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 10
+	}
+	// Break where struct aggregates are in scope: helpers take struct
+	// params (in scope from entry) and main declares its struct locals a
+	// few statements in. Unresolvable breakpoints (a seed without h2, a
+	// main shorter than 20 statements) simply don't arm — in both builds.
+	brk := [][2]any{
+		{"main", 8}, {"main", 10}, {"main", 12}, {"main", 14}, {"main", 16},
+		{"main", 18}, {"main", 20}, {"main", 24}, {"main", 28},
+		{"h0", 2}, {"h0", 5}, {"h0", 8}, {"h1", 2}, {"h1", 5}, {"h2", 2},
+	}
+	optCfgs := map[string]compile.Config{
+		"O2-noregs": compile.O2NoRegAlloc(),
+		"O2-full":   compile.O2(),
+	}
+	checkedCurrent, checkedRecovered := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.Gen(seed)
+		resO0, err := compile.Compile(fmt.Sprintf("rand%d.mc", seed), src, compile.O0())
+		if err != nil {
+			t.Fatalf("seed %d O0: compile: %v", seed, err)
+		}
+		dO0, err := New(resO0)
+		if err != nil {
+			t.Fatalf("seed %d O0: New: %v", seed, err)
+		}
+		o0trace := continueTrace(t, dO0, brk, 120)
+		firstO0 := map[string]int{}
+		for i, r := range o0trace {
+			if _, ok := firstO0[r.key]; !ok {
+				firstO0[r.key] = i
+			}
+		}
+
+		for name, cfg := range optCfgs {
+			res, err := compile.Compile(fmt.Sprintf("rand%d.mc", seed), src, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile: %v", seed, name, err)
+			}
+			d, err := New(res)
+			if err != nil {
+				t.Fatalf("seed %d %s: New: %v", seed, name, err)
+			}
+			seen := map[string]bool{}
+			for _, rec := range continueTrace(t, d, brk, 120) {
+				if seen[rec.key] {
+					continue // later arrivals are not dynamically aligned
+				}
+				seen[rec.key] = true
+				j, ok := firstO0[rec.key]
+				if !ok || !rec.exact || !o0trace[j].exact {
+					continue
+				}
+				for fname, fr := range rec.snap {
+					o0 := o0trace[j].snap[fname]
+					if o0 == nil || !o0.HasVal {
+						continue
+					}
+					if fr.Class.State == core.Current && fr.HasVal {
+						if fr.Val != o0.Val {
+							t.Errorf("seed %d %s stop %s: field %s current with %v but O0 shows %v",
+								seed, name, rec.key, fname, fr.Val, o0.Val)
+						}
+						checkedCurrent++
+					}
+					if fr.HasRecovered {
+						if fr.RecoveredVal != o0.Val {
+							t.Errorf("seed %d %s stop %s: field %s recovered as %v but O0 shows %v",
+								seed, name, rec.key, fname, fr.RecoveredVal, o0.Val)
+						}
+						checkedRecovered++
+					}
+				}
+			}
+		}
+	}
+	// The corpus must actually exercise the property: a generator change
+	// that stops emitting structs would otherwise pass vacuously.
+	floor := 200
+	if testing.Short() {
+		floor = 20
+	}
+	if checkedCurrent < floor {
+		t.Fatalf("cross-checked only %d current per-field verdicts (want >= %d): corpus too thin",
+			checkedCurrent, floor)
+	}
+	t.Logf("cross-checked %d current and %d recovered per-field values", checkedCurrent, checkedRecovered)
 }
 
 // TestFastPathStepEquiv single-steps a small program from entry to exit

@@ -52,24 +52,45 @@ func buildFunc(fd *ast.FuncDecl) *Func {
 	f.Entry = f.NewBlock()
 	b.cur = f.Entry
 
-	// Collect frame objects (arrays and addressed scalars).
+	// Collect frame objects (arrays, addressed scalars, and aggregates).
+	// Struct bases always start in memory — SROA may later promote their
+	// fields and drop the base from the frame. Member objects are never
+	// frame objects themselves.
 	for _, o := range fd.Locals {
-		if o.Addressed {
+		if o.Base != nil {
+			continue
+		}
+		if o.Addressed || ast.IsStruct(o.Type) {
 			f.FrameObjects = append(f.FrameObjects, o)
 		}
 	}
 
-	// Materialize incoming parameters.
-	for i, p := range fd.Params {
+	// Materialize incoming parameters. Struct parameters are flattened in
+	// the call ABI: one argument slot per field, stored into the aggregate's
+	// frame slots on entry. ParamIdx counts flattened slots.
+	flat := 0
+	for _, p := range fd.Params {
+		if st, ok := p.Typ.(*ast.StructType); ok {
+			a := f.NewTemp(I)
+			b.emit(&Instr{Kind: Addr, Dst: a, AddrObj: p.Obj})
+			for i, fld := range st.Fields {
+				t := f.NewTemp(TyOf(fld.Type))
+				b.emit(&Instr{Kind: GetParam, Dst: t, ParamIdx: flat + i})
+				b.emit(&Instr{Kind: Store, A: a, B: t, Off: int64(st.FieldOffset(i))})
+			}
+			flat += len(st.Fields)
+			continue
+		}
 		if p.Obj.Addressed {
 			t := f.NewTemp(TyOf(p.Obj.Type))
-			b.emit(&Instr{Kind: GetParam, Dst: t, ParamIdx: i})
+			b.emit(&Instr{Kind: GetParam, Dst: t, ParamIdx: flat})
 			a := f.NewTemp(I)
 			b.emit(&Instr{Kind: Addr, Dst: a, AddrObj: p.Obj})
 			b.emit(&Instr{Kind: Store, A: a, B: t})
 		} else {
-			b.emit(&Instr{Kind: GetParam, Dst: VarOf(p.Obj), ParamIdx: i})
+			b.emit(&Instr{Kind: GetParam, Dst: VarOf(p.Obj), ParamIdx: flat})
 		}
+		flat++
 	}
 
 	b.block(fd.Body)
@@ -304,6 +325,12 @@ func (b *builder) assign(s *ast.AssignStmt) {
 	switch lhs := s.LHS.(type) {
 	case *ast.Ident:
 		b.assignTo(lhs.Obj, lhs, rhs)
+	case *ast.FieldExpr:
+		base := structBaseObj(lhs)
+		v := b.value(rhs, Operand{})
+		a := b.fn.NewTemp(I)
+		b.emit(&Instr{Kind: Addr, Dst: a, AddrObj: base})
+		b.emit(&Instr{Kind: Store, A: a, B: v, Off: fieldOff(lhs)})
 	case *ast.IndexExpr:
 		addr, off := b.address(lhs)
 		v := b.value(rhs, Operand{})
@@ -320,6 +347,26 @@ func (b *builder) assign(s *ast.AssignStmt) {
 // assignTo stores the value of rhs into variable obj.
 func (b *builder) assignTo(obj *ast.Object, lhs *ast.Ident, rhs ast.Expr) {
 	if obj == nil {
+		return
+	}
+	if st, ok := obj.Type.(*ast.StructType); ok {
+		// Whole-struct assignment s1 = s2: copy field by field through the
+		// aggregates' base addresses. sem guarantees rhs is a same-typed
+		// struct variable.
+		src, okSrc := rhs.(*ast.Ident)
+		if !okSrc || src.Obj == nil {
+			return
+		}
+		sa := b.fn.NewTemp(I)
+		b.emit(&Instr{Kind: Addr, Dst: sa, AddrObj: src.Obj})
+		da := b.fn.NewTemp(I)
+		b.emit(&Instr{Kind: Addr, Dst: da, AddrObj: obj})
+		for i, fld := range st.Fields {
+			off := int64(st.FieldOffset(i))
+			t := b.fn.NewTemp(TyOf(fld.Type))
+			b.emit(&Instr{Kind: Load, Dst: t, A: sa, Off: off})
+			b.emit(&Instr{Kind: Store, A: da, B: t, Off: off})
+		}
 		return
 	}
 	if obj.Kind == ast.ObjGlobal || obj.Addressed {
@@ -350,8 +397,8 @@ func (b *builder) value(e ast.Expr, dst Operand) Operand {
 		if obj == nil {
 			return b.intoDst(CI(0), dst)
 		}
-		if _, isArr := obj.Type.(*ast.ArrayType); isArr {
-			// Array used as value: decays to its address.
+		if _, isArr := obj.Type.(*ast.ArrayType); isArr || ast.IsStruct(obj.Type) {
+			// Array (or aggregate) used as value: decays to its address.
 			t := b.pickDst(dst, I)
 			b.emit(&Instr{Kind: Addr, Dst: t, AddrObj: obj})
 			return t
@@ -432,9 +479,35 @@ func (b *builder) value(e ast.Expr, dst Operand) Operand {
 		b.emit(&Instr{Kind: Load, Dst: t, A: addr, Off: off})
 		return t
 
+	case *ast.FieldExpr:
+		base := structBaseObj(e)
+		if base == nil {
+			return b.intoDst(CI(0), dst)
+		}
+		a := b.fn.NewTemp(I)
+		b.emit(&Instr{Kind: Addr, Dst: a, AddrObj: base})
+		t := b.pickDst(dst, TyOf(e.Type()))
+		b.emit(&Instr{Kind: Load, Dst: t, A: a, Off: fieldOff(e)})
+		return t
+
 	case *ast.CallExpr:
 		in := &Instr{Kind: Call, Callee: e.Fun.Name}
 		for _, a := range e.Args {
+			if st, ok := a.Type().(*ast.StructType); ok {
+				// Flattened struct argument: push one value per field.
+				id, okID := a.(*ast.Ident)
+				if !okID || id.Obj == nil {
+					continue
+				}
+				sa := b.fn.NewTemp(I)
+				b.emit(&Instr{Kind: Addr, Dst: sa, AddrObj: id.Obj})
+				for i, fld := range st.Fields {
+					t := b.fn.NewTemp(TyOf(fld.Type))
+					b.emit(&Instr{Kind: Load, Dst: t, A: sa, Off: int64(st.FieldOffset(i))})
+					in.Args = append(in.Args, t)
+				}
+				continue
+			}
 			in.Args = append(in.Args, b.value(a, Operand{}))
 		}
 		retTy := e.Type()
@@ -550,6 +623,18 @@ func (b *builder) cond(e ast.Expr, thenB, elseB *Block) {
 	v := b.value(e, Operand{})
 	b.setTerm(&Instr{Kind: Br, A: v}, thenB, elseB)
 }
+
+// structBaseObj returns the object of the struct variable a field selection
+// reads from (sem guarantees the operand is a direct variable reference).
+func structBaseObj(e *ast.FieldExpr) *ast.Object {
+	if id, ok := e.X.(*ast.Ident); ok {
+		return id.Obj
+	}
+	return nil
+}
+
+// fieldOff returns the byte offset of the selected field.
+func fieldOff(e *ast.FieldExpr) int64 { return int64(4 * e.Idx) }
 
 // address computes the address operand (and constant offset) for a[i].
 func (b *builder) address(e *ast.IndexExpr) (Operand, int64) {

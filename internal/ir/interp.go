@@ -21,14 +21,25 @@ type Interp struct {
 	MaxSteps int
 }
 
-// memObj is a memory-allocated object (global, array, addressed local).
+// memObj is a memory-allocated object (global, array, addressed local, or
+// aggregate). Arrays and scalars are homogeneous (isF selects the plane);
+// structs may mix int and float fields, so they carry a per-slot flag.
 type memObj struct {
 	words []int64
 	fls   []float64
 	isF   bool
+	slotF []bool // non-nil for structs: per-slot float flag
 }
 
 func newMemObj(o *ast.Object) *memObj {
+	if st, ok := o.Type.(*ast.StructType); ok {
+		n := len(st.Fields)
+		m := &memObj{words: make([]int64, n), fls: make([]float64, n), slotF: make([]bool, n)}
+		for i, f := range st.Fields {
+			m.slotF[i] = ast.IsFloat(f.Type)
+		}
+		return m
+	}
 	n := 1
 	elemF := ast.IsFloat(o.Type)
 	if a, ok := o.Type.(*ast.ArrayType); ok {
@@ -264,6 +275,15 @@ func loadMem(p value, off int64) (value, error) {
 	}
 	idx := (p.off + off) / 4
 	m := p.obj
+	if m.slotF != nil {
+		if idx < 0 || idx >= int64(len(m.slotF)) {
+			return value{}, fmt.Errorf("load out of bounds (field %d of %d)", idx, len(m.slotF))
+		}
+		if m.slotF[idx] {
+			return fv(m.fls[idx]), nil
+		}
+		return iv(m.words[idx]), nil
+	}
 	if m.isF {
 		if idx < 0 || idx >= int64(len(m.fls)) {
 			return value{}, fmt.Errorf("load out of bounds (index %d of %d)", idx, len(m.fls))
@@ -282,6 +302,28 @@ func storeMem(p value, off int64, v value) error {
 	}
 	idx := (p.off + off) / 4
 	m := p.obj
+	if m.slotF != nil {
+		if idx < 0 || idx >= int64(len(m.slotF)) {
+			return fmt.Errorf("store out of bounds (field %d of %d)", idx, len(m.slotF))
+		}
+		if m.slotF[idx] {
+			x := v.f
+			if !v.isF {
+				x = float64(v.i)
+			}
+			m.fls[idx] = x
+			return nil
+		}
+		if v.obj != nil {
+			return fmt.Errorf("store of pointer into memory is not supported by the IR interpreter")
+		}
+		x := v.i
+		if v.isF {
+			x = int64(v.f)
+		}
+		m.words[idx] = int64(int32(x))
+		return nil
+	}
 	if m.isF {
 		if idx < 0 || idx >= int64(len(m.fls)) {
 			return fmt.Errorf("store out of bounds (index %d of %d)", idx, len(m.fls))

@@ -292,6 +292,8 @@ func (l *Lexer) Next() token.Token {
 		return one(token.COMMA)
 	case ';':
 		return one(token.SEMI)
+	case '.':
+		return one(token.DOT)
 	}
 	l.errs.Add(l.file, source.Pos(start), "illegal character %q", string(c))
 	l.pos++

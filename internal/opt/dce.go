@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"repro/internal/dataflow"
 	"repro/internal/ir"
 )
 
@@ -27,8 +28,11 @@ func DCE(f *ir.Func) bool {
 				if k < 0 || after[i].Has(k) {
 					continue
 				}
-				// Dead assignment.
-				if in.Dst.Kind == ir.Var && !in.Ann.Hoisted && !in.Ann.Sunk && in.Stmt >= 0 {
+				// Dead assignment. Synthetic entry code (Stmt < 0) is
+				// markerized too: a parameter field's initialization is a
+				// source-level binding, and deleting it without a marker
+				// would make the debugger call the field uninitialized.
+				if in.Dst.Kind == ir.Var && !in.Ann.Hoisted && !in.Ann.Sunk {
 					m := &ir.Instr{
 						Kind:    ir.MarkDead,
 						MarkObj: in.Dst.Obj,
@@ -124,7 +128,7 @@ func FaintDCE(f *ir.Func) bool {
 			if needed[in] || !removableKind(in) || !in.HasDst() {
 				continue
 			}
-			if in.Dst.Kind == ir.Var && !in.Ann.Hoisted && !in.Ann.Sunk && in.Stmt >= 0 {
+			if in.Dst.Kind == ir.Var && !in.Ann.Hoisted && !in.Ann.Sunk {
 				m := &ir.Instr{
 					Kind:    ir.MarkDead,
 					MarkObj: in.Dst.Obj,
@@ -142,4 +146,106 @@ func FaintDCE(f *ir.Func) bool {
 		}
 	}
 	return removed
+}
+
+// ValidateMarkers drops the alias operand from MarkDead markers whose
+// source value is not definitely computed by the time the marker is
+// reached. A marker records "V's eliminated assignment copied from A, so
+// A's location still holds the expected value" — an assumption later
+// passes can break in two ways:
+//
+//   - a later DCE/FaintDCE round deletes the computation of A itself
+//     (its value was only needed by the assignment that is now the
+//     marker), leaving the alias pointing at a register that is never
+//     written;
+//   - sinking (PDCE) moves A's computation below the marker, so the
+//     register is unwritten exactly in the window between the marker
+//     and the sunk code (the debugger's clobber analysis already
+//     invalidates the alias *after* the re-definition).
+//
+// Recovering through such an alias would fabricate a value, so the
+// recovery is degraded to none instead: the alias must be *definitely
+// written* (on every path) at the marker. Runs once after the pipeline.
+func ValidateMarkers(f *ir.Func) {
+	any := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == ir.MarkDead && in.A.Valid() {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+
+	sp := spaceOf(f)
+	g, idx := graphOf(f)
+	n := len(f.Blocks)
+	gen := make([]*dataflow.BitSet, n)
+	for i, b := range f.Blocks {
+		gen[i] = dataflow.NewBitSet(sp.size())
+		for _, in := range b.Instrs {
+			if in.HasDst() {
+				if k := sp.indexOf(in.Dst); k >= 0 {
+					gen[i].Set(k)
+				}
+			}
+		}
+	}
+
+	// Forward must-written: in[b] = ∩ out[preds]; out[b] = in[b] ∪ gen[b].
+	// Writes are never killed — only whether a write has happened matters,
+	// not which one (a re-definition is handled by the debugger's clobber
+	// analysis).
+	entry := idx[f.Entry]
+	ins := make([]*dataflow.BitSet, n)
+	outs := make([]*dataflow.BitSet, n)
+	for i := 0; i < n; i++ {
+		ins[i] = dataflow.NewBitSet(sp.size())
+		if i != entry {
+			ins[i].SetAll()
+		}
+		outs[i] = ins[i].Copy()
+		outs[i].Union(gen[i])
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i != entry {
+				first := true
+				for _, p := range g.Preds[i] {
+					if first {
+						ins[i].CopyFrom(outs[p])
+						first = false
+					} else {
+						ins[i].Intersect(outs[p])
+					}
+				}
+			}
+			old := outs[i]
+			nw := ins[i].Copy()
+			nw.Union(gen[i])
+			if !nw.Equal(old) {
+				outs[i] = nw
+				changed = true
+			}
+		}
+	}
+
+	for i, b := range f.Blocks {
+		written := ins[i].Copy()
+		for _, in := range b.Instrs {
+			if in.Kind == ir.MarkDead && in.A.Valid() {
+				if k := sp.indexOf(in.A); k >= 0 && !written.Has(k) {
+					in.A = ir.Operand{}
+				}
+			}
+			if in.HasDst() {
+				if k := sp.indexOf(in.Dst); k >= 0 {
+					written.Set(k)
+				}
+			}
+		}
+	}
 }

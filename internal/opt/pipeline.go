@@ -7,6 +7,9 @@ import (
 // Options selects which optimizations run; the zero value disables all.
 // Level O2 matches the paper's "global optimizations" configuration.
 type Options struct {
+	// SROA splits non-address-taken struct aggregates into per-field
+	// scalar variables before the scalar pipeline runs (see sroa.go).
+	SROA       bool
 	ConstFold  bool
 	ConstProp  bool
 	CopyProp   bool
@@ -38,6 +41,7 @@ func O1() Options {
 // passes, which run after lowering).
 func O2() Options {
 	return Options{
+		SROA:      true,
 		ConstFold: true, ConstProp: true, CopyProp: true, AssignProp: true,
 		PRE: true, LICM: true, PDCE: true, DCE: true, Strength: true,
 		Unroll: true, LoopInvert: true, BranchOpt: true,
@@ -59,6 +63,12 @@ func Run(p *ir.Program, o Options) {
 // RunFunc touches only f (and reads the shared, immutable global objects its
 // operands reference), so distinct functions may be optimized concurrently.
 func RunFunc(f *ir.Func, o Options) {
+	// SROA must run first: it rewrites aggregate memory traffic into the
+	// member-variable assignments every scalar pass below understands.
+	if o.SROA {
+		SROA(f)
+	}
+
 	cleanup := func() {
 		if o.ConstFold {
 			ConstFold(f)
@@ -129,6 +139,9 @@ func RunFunc(f *ir.Func, o Options) {
 		DCE(f)
 		FaintDCE(f)
 	}
+	// Recovery aliases recorded by earlier DCE rounds may point at values
+	// whose computation a later round deleted; drop those aliases.
+	ValidateMarkers(f)
 
 	if o.NoMarkers {
 		stripMarkers(f)

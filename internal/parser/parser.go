@@ -12,16 +12,17 @@ import (
 
 // Parser holds parse state for one file.
 type Parser struct {
-	file *source.File
-	toks []token.Token
-	pos  int
-	errs *source.ErrorList
+	file    *source.File
+	toks    []token.Token
+	pos     int
+	errs    *source.ErrorList
+	structs map[string]*ast.StructType // file-scope struct types, by name
 }
 
 // Parse parses the given MiniC source text into an AST file. Errors are
 // accumulated into errs; a partial AST is returned even on error.
 func Parse(f *source.File, errs *source.ErrorList) *ast.File {
-	p := &Parser{file: f, errs: errs}
+	p := &Parser{file: f, errs: errs, structs: make(map[string]*ast.StructType)}
 	p.toks = lexer.New(f, errs).ScanAll()
 	return p.parseFile()
 }
@@ -88,7 +89,7 @@ func (p *Parser) sync() {
 		case token.SEMI:
 			p.next()
 			return
-		case token.RBRACE, token.KwInt, token.KwFloat, token.KwVoid,
+		case token.RBRACE, token.KwInt, token.KwFloat, token.KwVoid, token.KwStruct,
 			token.KwIf, token.KwWhile, token.KwFor, token.KwReturn:
 			return
 		}
@@ -102,6 +103,15 @@ func (p *Parser) parseFile() *ast.File {
 	af := &ast.File{Source: p.file}
 	for !p.at(token.EOF) {
 		start := p.pos
+		if p.atStructDecl() {
+			if d := p.parseStructDecl(); d != nil {
+				af.Structs = append(af.Structs, d)
+			}
+			if p.pos == start {
+				p.next()
+			}
+			continue
+		}
 		if !p.atType() {
 			p.errorf("expected declaration, found %s", p.cur())
 			p.sync()
@@ -126,10 +136,50 @@ func (p *Parser) parseFile() *ast.File {
 
 func (p *Parser) atType() bool {
 	switch p.cur().Kind {
-	case token.KwInt, token.KwFloat, token.KwVoid:
+	case token.KwInt, token.KwFloat, token.KwVoid, token.KwStruct:
 		return true
 	}
 	return false
+}
+
+// atStructDecl reports whether the parser is at a file-scope struct type
+// declaration ("struct Name {"), as opposed to a struct-typed variable or
+// function ("struct Name x;").
+func (p *Parser) atStructDecl() bool {
+	if !p.at(token.KwStruct) || p.peek().Kind != token.IDENT {
+		return false
+	}
+	if p.pos+2 < len(p.toks) {
+		return p.toks[p.pos+2].Kind == token.LBRACE
+	}
+	return false
+}
+
+// parseStructDecl parses "struct Name { type field; ... };". Fields must be
+// scalar; that (and duplicate names) is validated by the checker.
+func (p *Parser) parseStructDecl() *ast.StructDecl {
+	start := p.next() // struct
+	name := p.expect(token.IDENT)
+	st := &ast.StructType{Name: name.Lit}
+	if _, dup := p.structs[name.Lit]; dup {
+		p.errorf("struct %q redeclared", name.Lit)
+	} else {
+		p.structs[name.Lit] = st
+	}
+	p.expect(token.LBRACE)
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		fieldStart := p.pos
+		ft := p.parseType()
+		fn := p.expect(token.IDENT)
+		p.expect(token.SEMI)
+		st.Fields = append(st.Fields, ast.StructField{Name: fn.Lit, Type: ft})
+		if p.pos == fieldStart {
+			p.next()
+		}
+	}
+	p.expect(token.RBRACE)
+	p.expect(token.SEMI)
+	return &ast.StructDecl{Name: name.Lit, Typ: st, Spn: p.spanFrom(start)}
 }
 
 func (p *Parser) parseType() ast.Type {
@@ -141,6 +191,14 @@ func (p *Parser) parseType() ast.Type {
 		t = ast.FloatType
 	case token.KwVoid:
 		t = ast.VoidType
+	case token.KwStruct:
+		p.next() // struct
+		name := p.expect(token.IDENT)
+		if st, ok := p.structs[name.Lit]; ok {
+			return st // no pointer-to-struct: stop before the STAR loop
+		}
+		p.errorf("undefined struct %q", name.Lit)
+		return ast.IntType
 	default:
 		p.errorf("expected type, found %s", p.cur())
 		t = ast.IntType
@@ -215,7 +273,7 @@ func (p *Parser) parseBlock() *ast.Block {
 
 func (p *Parser) parseStmt() ast.Stmt {
 	switch p.cur().Kind {
-	case token.KwInt, token.KwFloat:
+	case token.KwInt, token.KwFloat, token.KwStruct:
 		return p.parseDeclStmt()
 	case token.KwIf:
 		return p.parseIf()
@@ -485,6 +543,12 @@ func (p *Parser) parsePostfix() ast.Expr {
 			rb := p.expect(token.RBRACKET)
 			e := &ast.IndexExpr{X: x, Index: idx}
 			setExprSpan(e, x.Span().Union(spanOf(rb, rb)))
+			x = e
+		case token.DOT:
+			p.next()
+			fn := p.expect(token.IDENT)
+			e := &ast.FieldExpr{X: x, Name: fn.Lit, Idx: -1}
+			setExprSpan(e, x.Span().Union(spanOf(fn, fn)))
 			x = e
 		default:
 			return x

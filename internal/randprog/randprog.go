@@ -7,7 +7,11 @@
 // Guarantees by construction: all loops have constant trip counts, array
 // indices are loop variables or reduced modulo the array length against
 // nonnegative values, divisions and remainders have strictly positive
-// divisors, and all variables are initialized before use.
+// divisors, and all variables are initialized before use. Struct locals
+// have every field assigned immediately after declaration, so per-field
+// scalar replacement (SROA) and the per-field classifications it enables
+// are exercised on every generated program without violating the
+// init-before-use guarantee.
 package randprog
 
 import (
@@ -34,11 +38,29 @@ type gen struct {
 	names    int
 
 	funcs []funcSig
+
+	// structs are the declared struct types; svars the in-scope struct
+	// variables (every field initialized).
+	structs []structTy
+	svars   []structVar
 }
 
 type funcSig struct {
 	name   string
 	params int
+	// structParam is the index into structs of a trailing struct-typed
+	// parameter, or -1 when the function takes only ints.
+	structParam int
+}
+
+type structTy struct {
+	name   string
+	fields []string
+}
+
+type structVar struct {
+	name string
+	ty   int // index into structs
 }
 
 func (g *gen) w(format string, args ...any) {
@@ -53,6 +75,31 @@ func (g *gen) fresh(prefix string) string {
 }
 
 func (g *gen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
+
+// fieldRef returns a random in-scope struct field access ("s3.f1"), or ""
+// when no struct variable is in scope.
+func (g *gen) fieldRef() string {
+	if len(g.svars) == 0 {
+		return ""
+	}
+	sv := g.svars[g.r.Intn(len(g.svars))]
+	st := g.structs[sv.ty]
+	return sv.name + "." + st.fields[g.r.Intn(len(st.fields))]
+}
+
+// declStruct declares a struct variable and initializes every field,
+// registering it in scope. It returns the new variable's name.
+func (g *gen) declStruct(depth int) string {
+	ty := g.r.Intn(len(g.structs))
+	st := g.structs[ty]
+	v := g.fresh("s")
+	g.w("struct %s %s;", st.name, v)
+	for _, f := range st.fields {
+		g.w("%s.%s = %s;", v, f, g.intExpr(depth))
+	}
+	g.svars = append(g.svars, structVar{name: v, ty: ty})
+	return v
+}
 
 // assignable returns the variables statements may write: everything in
 // scope except enclosing loop indices (writing those could make a loop
@@ -75,9 +122,14 @@ func (g *gen) assignable() []string {
 // initialized variables.
 func (g *gen) intExpr(depth int) string {
 	if depth <= 0 || g.r.Intn(3) == 0 {
-		switch g.r.Intn(3) {
+		switch g.r.Intn(4) {
 		case 0:
 			return fmt.Sprintf("%d", g.r.Intn(200)-100)
+		case 1:
+			if f := g.fieldRef(); f != "" {
+				return f
+			}
+			fallthrough
 		default:
 			if len(g.ivars) == 0 {
 				return fmt.Sprintf("%d", g.r.Intn(50))
@@ -110,6 +162,25 @@ func (g *gen) intExpr(depth int) string {
 
 func (g *gen) call(depth int) string {
 	f := g.funcs[g.r.Intn(len(g.funcs))]
+	if f.structParam >= 0 {
+		// A struct-taking helper needs a compatible struct variable in
+		// scope to pass by value (flattened per-field at the call site).
+		var compat []string
+		for _, sv := range g.svars {
+			if sv.ty == f.structParam {
+				compat = append(compat, sv.name)
+			}
+		}
+		if len(compat) == 0 {
+			return fmt.Sprintf("(%s + %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+		}
+		args := make([]string, f.params+1)
+		for i := 0; i < f.params; i++ {
+			args[i] = g.intExpr(depth - 1)
+		}
+		args[f.params] = g.pick(compat)
+		return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+	}
 	args := make([]string, f.params)
 	for i := range args {
 		args[i] = g.intExpr(depth - 1)
@@ -134,7 +205,7 @@ func (g *gen) cond(depth int) string {
 
 // stmt emits one random statement. arr names a local array (or "").
 func (g *gen) stmt(depth int, arr string, arrLen int) {
-	n := g.r.Intn(10)
+	n := g.r.Intn(13)
 	switch {
 	case n < 3: // new variable
 		v := g.fresh("v")
@@ -182,8 +253,41 @@ func (g *gen) stmt(depth int, arr string, arrLen int) {
 			g.w("%s = %s + %s[%s %% %d];", g.pick(g.assignable()), g.pick(g.ivars), arr, i, arrLen)
 		}
 
+	case n < 10 && len(g.structs) > 0: // new struct variable, fields initialized
+		g.declStruct(1 + g.r.Intn(2))
+
+	case n < 11 && len(g.svars) > 0: // field assignment or loop-carried accumulation
+		f := g.fieldRef()
+		if g.r.Intn(2) == 0 && depth > 0 && len(g.loopVars) < 2 {
+			// The field reads itself, so no propagation can forward the
+			// update and the split scalar stays live — the per-field
+			// classifier sees a *current* field at stops in and after
+			// the loop.
+			i := g.fresh("i")
+			g.w("for (int %s = 0; %s < %d; %s++) { %s = (%s * 3 + %s) %% 9973; }",
+				i, i, 3+g.r.Intn(5), i, f, f, i)
+		} else {
+			g.w("%s = %s;", f, g.intExpr(2))
+		}
+
+	case n < 12 && len(g.svars) > 1: // whole-struct assignment (same type)
+		dst := g.svars[g.r.Intn(len(g.svars))]
+		var compat []string
+		for _, sv := range g.svars {
+			if sv.ty == dst.ty && sv.name != dst.name {
+				compat = append(compat, sv.name)
+			}
+		}
+		if len(compat) > 0 {
+			g.w("%s = %s;", dst.name, g.pick(compat))
+		} else if f := g.fieldRef(); f != "" {
+			g.w("%s = %s;", f, g.intExpr(1))
+		}
+
 	default: // fold something into the checksum
-		if len(g.ivars) > 0 {
+		if len(g.svars) > 0 && g.r.Intn(2) == 0 {
+			g.w("chk = (chk * 31 + %s) %% 65521;", g.fieldRef())
+		} else if len(g.ivars) > 0 {
 			g.w("chk = (chk * 31 + %s) %% 65521;", g.pick(g.ivars))
 		} else {
 			g.w("chk = (chk + 1) %% 65521;")
@@ -194,23 +298,31 @@ func (g *gen) stmt(depth int, arr string, arrLen int) {
 func (g *gen) block(depth, stmts int, arr string, arrLen int) {
 	g.ind++
 	mark := len(g.ivars)
+	smark := len(g.svars)
 	for i := 0; i < stmts; i++ {
 		g.stmt(depth, arr, arrLen)
 	}
 	g.ivars = g.ivars[:mark]
+	g.svars = g.svars[:smark]
 	g.ind--
 }
 
-// helper emits one helper function with p int parameters; its body is
-// branchy straight-line arithmetic plus at most one bounded loop.
-func (g *gen) helper(name string, p int) {
+// helper emits one helper function with p int parameters (plus an
+// optional trailing struct parameter, passed by value and flattened
+// per-field by the compiler); its body is branchy straight-line
+// arithmetic plus at most one bounded loop.
+func (g *gen) helper(name string, p, structParam int) {
 	params := make([]string, p)
-	saved := g.ivars
-	g.ivars = nil
+	saved, savedS := g.ivars, g.svars
+	g.ivars, g.svars = nil, nil
 	for i := range params {
 		pn := fmt.Sprintf("p%d", i)
 		params[i] = "int " + pn
 		g.ivars = append(g.ivars, pn)
+	}
+	if structParam >= 0 {
+		params = append(params, fmt.Sprintf("struct %s sp", g.structs[structParam].name))
+		g.svars = append(g.svars, structVar{name: "sp", ty: structParam})
 	}
 	g.w("int %s(%s) {", name, strings.Join(params, ", "))
 	g.ind++
@@ -220,15 +332,45 @@ func (g *gen) helper(name string, p int) {
 	for i := 0; i < nst; i++ {
 		g.stmt(1, "", 0)
 	}
+	if structParam >= 0 {
+		// Fold the struct parameter into the result so its (flattened)
+		// fields are live and any miscompile of the call ABI shows up.
+		// Folding the same field twice gives it two uses, which defeats
+		// assignment forwarding: the field's entry value stays in its own
+		// register and classifies *current* between the folds.
+		st := g.structs[structParam]
+		fld := st.fields[g.r.Intn(len(st.fields))]
+		g.w("chk = (chk * 29 + sp.%s) %% 65521;", fld)
+		g.w("chk = (chk * 37 + sp.%s) %% 65521;", fld)
+	}
 	g.w("return chk %% 4099;")
 	g.ind--
 	g.w("}")
 	g.w("")
-	g.ivars = saved
+	g.ivars, g.svars = saved, savedS
 }
 
 func (g *gen) program() string {
 	g.w("/* randomly generated MiniC program (differential-test input) */")
+
+	// Struct types: one or two, with 2-4 int fields each.
+	nty := 1 + g.r.Intn(2)
+	for i := 0; i < nty; i++ {
+		nf := 2 + g.r.Intn(3)
+		st := structTy{name: fmt.Sprintf("S%d", i)}
+		for f := 0; f < nf; f++ {
+			st.fields = append(st.fields, fmt.Sprintf("f%d", f))
+		}
+		g.structs = append(g.structs, st)
+		var decl strings.Builder
+		fmt.Fprintf(&decl, "struct %s {", st.name)
+		for _, f := range st.fields {
+			fmt.Fprintf(&decl, " int %s;", f)
+		}
+		decl.WriteString(" };")
+		g.w("%s", decl.String())
+	}
+
 	// A couple of globals folded into the checksum.
 	ng := 1 + g.r.Intn(3)
 	globals := make([]string, ng)
@@ -236,6 +378,10 @@ func (g *gen) program() string {
 		globals[i] = g.fresh("G")
 		g.w("int %s = %d;", globals[i], g.r.Intn(100))
 	}
+	// A global struct: lives in memory (never split), its fields accessed
+	// through the aggregate's address at every optimization level.
+	gsTy := g.r.Intn(len(g.structs))
+	g.w("struct %s GS;", g.structs[gsTy].name)
 	g.w("")
 
 	// Helpers are generated before main and callable from everywhere
@@ -244,8 +390,12 @@ func (g *gen) program() string {
 	for i := 0; i < nh; i++ {
 		name := fmt.Sprintf("h%d", i)
 		p := 1 + g.r.Intn(3)
-		g.helper(name, p)
-		g.funcs = append(g.funcs, funcSig{name: name, params: p})
+		sp := -1
+		if g.r.Intn(2) == 0 {
+			sp = g.r.Intn(len(g.structs))
+		}
+		g.helper(name, p, sp)
+		g.funcs = append(g.funcs, funcSig{name: name, params: p, structParam: sp})
 	}
 
 	g.w("int main() {")
@@ -254,19 +404,49 @@ func (g *gen) program() string {
 	g.ivars = []string{"chk"}
 	g.ivars = append(g.ivars, globals...)
 
+	// Initialize the global struct's fields before anything reads them.
+	for _, f := range g.structs[gsTy].fields {
+		g.w("GS.%s = %s;", f, g.intExpr(1))
+	}
+	g.svars = append(g.svars, structVar{name: "GS", ty: gsTy})
+
 	arrLen := 4 + g.r.Intn(12)
 	g.w("int buf[%d];", arrLen)
 	g.w("for (int z = 0; z < %d; z++) { buf[z] = z * 3; }", arrLen)
+
+	// One or two struct locals up front, so struct traffic (field loads
+	// and stores, whole-struct copies, struct call arguments) is present
+	// on every seed.
+	nsv := 1 + g.r.Intn(2)
+	for i := 0; i < nsv; i++ {
+		g.declStruct(2)
+	}
+	topSvars := len(g.svars)
+
+	// Accumulate into one field of a top-level struct local through a
+	// loop: the self-referencing update defeats forwarding and constant
+	// propagation, and the final folds keep the field live, so every seed
+	// carries at least one field the classifier must call *current*.
+	acc := g.svars[topSvars-1]
+	accF := g.structs[acc.ty].fields[g.r.Intn(len(g.structs[acc.ty].fields))]
+	g.w("for (int q = 0; q < %d; q++) { %s.%s = (%s.%s * 3 + q) %% 9973; }",
+		3+g.r.Intn(5), acc.name, accF, acc.name, accF)
 
 	nst := 4 + g.r.Intn(6)
 	for i := 0; i < nst; i++ {
 		g.stmt(2, "buf", arrLen)
 	}
 
-	// fold the array and globals into the checksum and print it
+	// fold the array, globals and struct fields into the checksum and
+	// print it
 	g.w("for (int z = 0; z < %d; z++) { chk = (chk * 17 + buf[z]) %% 65521; }", arrLen)
 	for _, gv := range globals {
 		g.w("chk = (chk * 13 + %s) %% 65521;", gv)
+	}
+	for _, sv := range g.svars[:topSvars] {
+		for _, f := range g.structs[sv.ty].fields {
+			g.w("chk = (chk * 19 + %s.%s) %% 65521;", sv.name, f)
+		}
 	}
 	g.w(`print("chk=", chk, "\n");`)
 	g.w("return chk %% 256;")

@@ -45,6 +45,7 @@ func Check(f *ast.File, errs *source.ErrorList) (*Program, error) {
 		prog:  &Program{File: f},
 		funcs: make(map[string]*ast.Object),
 	}
+	c.checkStructs()
 	c.collectGlobals()
 	for _, fn := range f.Funcs {
 		c.checkFunc(fn)
@@ -71,6 +72,47 @@ func (c *checker) errorf(sp source.Span, format string, args ...any) {
 	c.errs.Add(c.file, sp.Start, format, args...)
 }
 
+// ---------------------------------------------------------------- structs
+
+// checkStructs validates file-scope struct declarations: every field must
+// be a scalar (int or float — one 4-byte slot each, so offsets are simply
+// 4*index), names must be unique, and a struct needs at least one field.
+func (c *checker) checkStructs() {
+	for _, sd := range c.prog.File.Structs {
+		if len(sd.Typ.Fields) == 0 {
+			c.errorf(sd.Spn, "struct %q has no fields", sd.Name)
+		}
+		seen := map[string]bool{}
+		for _, f := range sd.Typ.Fields {
+			if !ast.IsArith(f.Type) {
+				c.errorf(sd.Spn, "field %q of struct %q must be int or float", f.Name, sd.Name)
+			}
+			if seen[f.Name] {
+				c.errorf(sd.Spn, "duplicate field %q in struct %q", f.Name, sd.Name)
+			}
+			seen[f.Name] = true
+		}
+	}
+}
+
+// addMembers materializes one member object per field of a struct-typed
+// local or parameter, named "base.field" and appended to fn.Locals so each
+// field owns a dense variable ID. SROA later promotes these to scalar
+// pseudo-registers; the classifier tracks each independently.
+func (c *checker) addMembers(base *ast.Object) {
+	st := base.Type.(*ast.StructType)
+	for i, f := range st.Fields {
+		m := &ast.Object{
+			Name: base.Name + "." + f.Name, Kind: base.Kind, Type: f.Type,
+			Decl: base.Decl, ID: len(c.fn.Locals),
+			ScopeStart: base.ScopeStart, ScopeEnd: base.ScopeEnd,
+			Base: base, FieldIdx: i,
+		}
+		base.Members = append(base.Members, m)
+		c.fn.Locals = append(c.fn.Locals, m)
+	}
+}
+
 // ---------------------------------------------------------------- globals
 
 func (c *checker) collectGlobals() {
@@ -81,7 +123,16 @@ func (c *checker) collectGlobals() {
 		}
 		seen[d.Name] = true
 		obj := &ast.Object{Name: d.Name, Kind: ast.ObjGlobal, Type: d.Typ, Decl: d, ID: i}
-		if _, isArr := d.Typ.(*ast.ArrayType); isArr {
+		if arr, isArr := d.Typ.(*ast.ArrayType); isArr {
+			obj.Addressed = true
+			if ast.IsStruct(arr.Elem) {
+				c.errorf(d.Spn, "arrays of structs are not supported")
+			}
+		}
+		if ast.IsStruct(d.Typ) {
+			// Globals always live in memory; struct globals are accessed
+			// field-by-field through the base address and need no member
+			// objects (every field is trivially resident and current).
 			obj.Addressed = true
 		}
 		d.Obj = obj
@@ -142,6 +193,9 @@ func (c *checker) checkFunc(fn *ast.FuncDecl) {
 	c.loop = 0
 	c.scopes = nil
 	c.pushScope()
+	if ast.IsStruct(fn.Ret) {
+		c.errorf(fn.Spn, "function %q cannot return a struct", fn.Name)
+	}
 	for _, p := range fn.Params {
 		obj := &ast.Object{
 			Name: p.Name, Kind: ast.ObjParam, Type: p.Typ, Decl: p,
@@ -151,11 +205,24 @@ func (c *checker) checkFunc(fn *ast.FuncDecl) {
 		fn.Locals = append(fn.Locals, obj)
 		c.declare(obj, p.Spn)
 	}
+	// Struct-param member objects come after all parameter objects so that
+	// parameter IDs stay positional (ID == parameter index).
+	for _, p := range fn.Params {
+		if ast.IsStruct(p.Typ) {
+			c.addMembers(p.Obj)
+		}
+	}
 	c.checkBlock(fn.Body)
 	fn.NumStmts = c.nextStmt
 	for _, o := range fn.Locals {
 		if o.ScopeEnd > fn.NumStmts {
 			o.ScopeEnd = fn.NumStmts
+		}
+	}
+	// Member objects shadow their base's final scope extent.
+	for _, o := range fn.Locals {
+		if o.Base != nil {
+			o.ScopeStart, o.ScopeEnd = o.Base.ScopeStart, o.Base.ScopeEnd
 		}
 	}
 	c.popScope()
@@ -197,12 +264,21 @@ func (c *checker) checkStmt(s ast.Stmt) *ast.Object {
 			Name: d.Name, Kind: ast.ObjLocal, Type: d.Typ, Decl: d,
 			ID: len(c.fn.Locals), ScopeStart: s.ID(), ScopeEnd: 1 << 30,
 		}
-		if _, isArr := d.Typ.(*ast.ArrayType); isArr {
+		if arr, isArr := d.Typ.(*ast.ArrayType); isArr {
 			obj.Addressed = true
+			if ast.IsStruct(arr.Elem) {
+				c.errorf(d.Spn, "arrays of structs are not supported")
+			}
 		}
 		d.Obj = obj
 		c.fn.Locals = append(c.fn.Locals, obj)
-		if d.Init != nil {
+		if ast.IsStruct(d.Typ) {
+			c.addMembers(obj)
+			if d.Init != nil {
+				c.errorf(d.Spn, "struct declarations cannot have initializers; assign fields individually")
+				d.Init = nil
+			}
+		} else if d.Init != nil {
 			c.checkExpr(d.Init)
 			d.Init = c.convert(d.Init, scalarOf(d.Typ), d.Spn)
 		}
@@ -399,6 +475,9 @@ func (c *checker) checkLValue(e ast.Expr) ast.Type {
 	case *ast.IndexExpr:
 		c.checkExpr(e)
 		return exprType(e)
+	case *ast.FieldExpr:
+		c.checkExpr(e)
+		return exprType(e)
 	case *ast.UnaryExpr:
 		if e.Op == token.STAR {
 			c.checkExpr(e)
@@ -523,6 +602,11 @@ func (c *checker) checkExpr(e ast.Expr) {
 			switch x := e.X.(type) {
 			case *ast.Ident:
 				if x.Obj != nil && x.Obj.IsVar() {
+					if ast.IsStruct(x.Obj.Type) {
+						c.errorf(e.Span(), "cannot take the address of struct %q; take a field's address instead", x.Name)
+						e.SetType(&ast.PointerType{Elem: ast.IntType})
+						return
+					}
 					x.Obj.Addressed = true
 					e.SetType(&ast.PointerType{Elem: scalarOf(x.Obj.Type)})
 					if _, isArr := x.Obj.Type.(*ast.ArrayType); isArr {
@@ -534,6 +618,16 @@ func (c *checker) checkExpr(e ast.Expr) {
 				c.errorf(e.Span(), "cannot take address of %q", x.Name)
 				e.SetType(&ast.PointerType{Elem: ast.IntType})
 			case *ast.IndexExpr:
+				e.SetType(&ast.PointerType{Elem: exprType(x)})
+			case *ast.FieldExpr:
+				// &s.f pins the whole aggregate in memory: the base can no
+				// longer be SROA'd, and the member stays memory-resident.
+				if x.Member != nil {
+					x.Member.Addressed = true
+					x.Member.Base.Addressed = true
+				} else if id, ok := x.X.(*ast.Ident); ok && id.Obj != nil {
+					id.Obj.Addressed = true
+				}
 				e.SetType(&ast.PointerType{Elem: exprType(x)})
 			default:
 				c.errorf(e.Span(), "cannot take address of this expression")
@@ -554,6 +648,26 @@ func (c *checker) checkExpr(e ast.Expr) {
 		default:
 			c.errorf(e.Span(), "cannot index %s", exprType(e.X))
 			e.SetType(ast.IntType)
+		}
+
+	case *ast.FieldExpr:
+		c.checkExpr(e.X)
+		st, ok := exprType(e.X).(*ast.StructType)
+		if !ok {
+			c.errorf(e.Span(), "%s has no fields", exprType(e.X))
+			e.SetType(ast.IntType)
+			return
+		}
+		idx := st.FieldIndex(e.Name)
+		if idx < 0 {
+			c.errorf(e.Span(), "struct %q has no field %q", st.Name, e.Name)
+			e.SetType(ast.IntType)
+			return
+		}
+		e.Idx = idx
+		e.SetType(st.Fields[idx].Type)
+		if id, ok := e.X.(*ast.Ident); ok && id.Obj != nil && idx < len(id.Obj.Members) {
+			e.Member = id.Obj.Members[idx]
 		}
 
 	case *ast.CallExpr:

@@ -100,14 +100,7 @@ func appendResponse(b []byte, r *Response) []byte {
 			if i > 0 {
 				b = append(b, ',')
 			}
-			v := &r.Vars[i]
-			b = append(b, `{"name":`...)
-			b = appendString(b, v.Name)
-			b = append(b, `,"state":`...)
-			b = appendString(b, v.State)
-			b = append(b, `,"display":`...)
-			b = appendString(b, v.Display)
-			b = append(b, '}')
+			b = appendVarInfo(b, &r.Vars[i])
 		}
 		b = append(b, ']')
 	}
@@ -122,6 +115,28 @@ func appendResponse(b []byte, r *Response) []byte {
 				b = append(b, ',')
 			}
 			b = appendResponse(b, &r.Results[i])
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// appendVarInfo appends one classified variable, recursing into the
+// per-field sub-reports of struct aggregates.
+func appendVarInfo(b []byte, v *VarInfo) []byte {
+	b = append(b, `{"name":`...)
+	b = appendString(b, v.Name)
+	b = append(b, `,"state":`...)
+	b = appendString(b, v.State)
+	b = append(b, `,"display":`...)
+	b = appendString(b, v.Display)
+	if len(v.Fields) > 0 {
+		b = append(b, `,"fields":[`...)
+		for i := range v.Fields {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendVarInfo(b, &v.Fields[i])
 		}
 		b = append(b, ']')
 	}
@@ -168,6 +183,8 @@ func appendStats(b []byte, st *Stats) []byte {
 	field("panics", st.Panics)
 	field("timeouts", st.Timeouts)
 	field("output_limits", st.OutputLimits)
+	field("sroa_splits", st.SROASplits)
+	field("fields_classified", st.FieldsClassified)
 	field("vm_fast_runs", st.VMFastRuns)
 	field("vm_slow_runs", st.VMSlowRuns)
 	field("compile_workers", int64(st.CompileWorkers))

@@ -19,7 +19,8 @@ func fullStats() *Stats {
 		SpillHits: 16, SpillMisses: 17, SpillWrites: 18, SpillErrors: 19,
 		SpillDegraded: true, SpillDegradations: 20, SpillProbes: 21, FlushErrors: 22,
 		AnalysesBuilt: 23, CyclesExecuted: -24, Requests: 25, Panics: 26, Timeouts: 27,
-		OutputLimits: 28, VMFastRuns: 29, VMSlowRuns: 30,
+		OutputLimits: 28, SROASplits: 41, FieldsClassified: 42,
+		VMFastRuns: 29, VMSlowRuns: 30,
 		CompileWorkers: 31, FuncsCompiled: 32, FuncsReused: 33, CompileMSTotal: 34,
 		FuncCacheEntries: 35, FuncCacheBytes: 36, FuncCacheEvictions: 37,
 	}
@@ -41,6 +42,15 @@ func encodeCorpus() []*Response {
 			{Name: "", State: "", Display: ""},
 		}},
 		{OK: true, Vars: []VarInfo{}}, // empty non-nil slice: omitempty drops it
+		// Struct aggregate with nested per-field reports (one level, plus a
+		// deeper nesting to exercise the recursion).
+		{OK: true, Vars: []VarInfo{
+			{Name: "p", State: "noncurrent", Display: `p = {x = 1, y = 2}`, Fields: []VarInfo{
+				{Name: "p.x", State: "current", Display: "p.x = 1"},
+				{Name: "p.y", State: "noncurrent", Display: "p.y = 2 (WARNING)",
+					Fields: []VarInfo{{Name: "deep", State: "current", Display: "deep = 0"}}},
+			}},
+		}},
 		{OK: true, Stats: &Stats{}},
 		{OK: true, Stats: fullStats()},
 		{ID: 9, OK: true, Results: []Response{

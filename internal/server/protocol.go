@@ -145,11 +145,15 @@ type StopInfo struct {
 }
 
 // VarInfo is one classified variable at a stop. Display is the exact
-// warning-annotated rendering the command-line debugger prints.
+// warning-annotated rendering the command-line debugger prints. For a
+// struct aggregate, Fields nests one VarInfo per field in declaration
+// order, each carrying its own state and warning-annotated display; the
+// aggregate's own State summarizes them (worst field).
 type VarInfo struct {
-	Name    string `json:"name"`
-	State   string `json:"state"`
-	Display string `json:"display"`
+	Name    string    `json:"name"`
+	State   string    `json:"state"`
+	Display string    `json:"display"`
+	Fields  []VarInfo `json:"fields,omitempty"`
 }
 
 // ProtoError carries a stable machine-readable code plus the human text.
@@ -228,6 +232,13 @@ type Stats struct {
 	// OutputLimits counts continue/step commands cut off because the
 	// program printed past the output cap (-output-limit).
 	OutputLimits int64 `json:"output_limits"`
+
+	// SROASplits counts struct aggregates decomposed into per-field
+	// scalars by the optimizer; FieldsClassified counts per-field
+	// debug-info verdicts issued for struct members. Both are
+	// process-wide lifetime counters.
+	SROASplits       int64 `json:"sroa_splits"`
+	FieldsClassified int64 `json:"fields_classified"`
 
 	// VMFastRuns/VMSlowRuns count VM run-loop invocations by path since
 	// process start (process-wide, not per-server): the predecoded bitmap

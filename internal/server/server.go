@@ -16,6 +16,7 @@ import (
 	"repro/internal/artstore"
 	"repro/internal/bench"
 	"repro/internal/compile"
+	"repro/internal/core"
 	"repro/internal/debugger"
 	"repro/internal/fault"
 	"repro/internal/opt"
@@ -847,7 +848,11 @@ func stopOf(bp *debugger.Breakpoint) *StopInfo {
 }
 
 func varOf(r *debugger.VarReport) VarInfo {
-	return VarInfo{Name: r.Name, State: r.Class.State.String(), Display: r.Display()}
+	v := VarInfo{Name: r.Name, State: r.Class.State.String(), Display: r.Display()}
+	for _, f := range r.Fields {
+		v.Fields = append(v.Fields, varOf(f))
+	}
+	return v
 }
 
 // errorOf maps a session error to its stable protocol code.
@@ -930,6 +935,8 @@ func (s *Server) Snapshot() Stats {
 		Timeouts:          s.timeouts.Load(),
 		OutputLimits:      s.outputLimits.Load(),
 	}
+	st.SROASplits = opt.SROASplitCount()
+	st.FieldsClassified = core.FieldsClassifiedCount()
 	st.VMFastRuns, st.VMSlowRuns = vm.PathStats()
 	ps := s.store.PipelineStats()
 	st.CompileWorkers = s.store.CompileWorkers()

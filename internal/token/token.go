@@ -61,6 +61,7 @@ const (
 	RBRACKET // ]
 	COMMA    // ,
 	SEMI     // ;
+	DOT      // .
 
 	// Keywords.
 	KwInt
@@ -74,7 +75,8 @@ const (
 	KwReturn
 	KwBreak
 	KwContinue
-	KwPrint // builtin output statement, used by workloads and the VM
+	KwPrint  // builtin output statement, used by workloads and the VM
+	KwStruct // aggregate type declaration
 )
 
 var names = map[Kind]string{
@@ -88,10 +90,11 @@ var names = map[Kind]string{
 	ANDAND: "&&", OROR: "||", NOT: "!",
 	SHL: "<<", SHR: ">>", OR: "|", XOR: "^",
 	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
-	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMI: ";",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMI: ";", DOT: ".",
 	KwInt: "int", KwFloat: "float", KwVoid: "void",
 	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for", KwDo: "do",
 	KwReturn: "return", KwBreak: "break", KwContinue: "continue", KwPrint: "print",
+	KwStruct: "struct",
 }
 
 // Keywords maps keyword spellings to their token kinds.
@@ -99,6 +102,7 @@ var Keywords = map[string]Kind{
 	"int": KwInt, "float": KwFloat, "void": KwVoid,
 	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor, "do": KwDo,
 	"return": KwReturn, "break": KwBreak, "continue": KwContinue, "print": KwPrint,
+	"struct": KwStruct,
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,155 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/opt"
+	"repro/pkg/minic"
+)
+
+// sroaBenchSrc builds a struct-heavy MiniC workload: n four-field
+// aggregates, each written up front, updated in a shared loop and folded
+// into the result — so SROA has n candidates, the scalar pipeline gets the
+// resulting member variables, and the classifier sees 4n field entities in
+// scope at the print.
+func sroaBenchSrc(n int) string {
+	var sb strings.Builder
+	sb.WriteString("struct V { int a; int b; int c; int d; };\n")
+	sb.WriteString("int f(int n) {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  struct V s%d;\n", i)
+	}
+	sb.WriteString("  int i;\n  int acc;\n  acc = 0;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  s%d.a = %d; s%d.b = %d; s%d.c = n * %d; s%d.d = 0;\n",
+			i, i+1, i, 2*i+3, i, i+1, i)
+	}
+	sb.WriteString("  for (i = 0; i < n; i = i + 1) {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "    s%d.d = s%d.d + s%d.a * i + s%d.b;\n", i, i, i, i)
+	}
+	sb.WriteString("  }\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  acc = acc + s%d.d + s%d.c;\n", i, i)
+	}
+	sb.WriteString("  print(acc);\n  return acc;\n}\n")
+	sb.WriteString("int main() { return f(9); }\n")
+	return sb.String()
+}
+
+const sroaBenchStructs = 8
+
+// BenchmarkSROACompile measures the full compile of the struct-heavy
+// workload with and without scalar replacement. The sroa case b.Fatals
+// unless every aggregate was actually split (the global split counter must
+// advance by structs-per-compile each iteration), so a silently disabled
+// SROA cannot pass the CI smoke.
+func BenchmarkSROACompile(b *testing.B) {
+	src := sroaBenchSrc(sroaBenchStructs)
+	withSROA := opt.O2()
+	noSROA := opt.O2()
+	noSROA.SROA = false
+
+	b.Run("sroa", func(b *testing.B) {
+		b.ReportAllocs()
+		before := opt.SROASplitCount()
+		for i := 0; i < b.N; i++ {
+			if _, err := minic.Compile("sroa_bench.mc", src, minic.WithPasses(withSROA)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if got, want := opt.SROASplitCount()-before, int64(b.N*sroaBenchStructs); got < want {
+			b.Fatalf("SROA split %d aggregates over %d compiles, want >= %d", got, b.N, want)
+		}
+	})
+	b.Run("nosroa", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := minic.Compile("sroa_bench.mc", src, minic.WithPasses(noSROA)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSROAExec measures what scalar replacement buys at run time:
+// the same struct-heavy workload executed to completion, SROA'd (fields
+// promoted to registers and optimized through) vs unsplit (every field
+// access a memory load/store). Reports the simulator's cycle count.
+func BenchmarkSROAExec(b *testing.B) {
+	src := sroaBenchSrc(sroaBenchStructs)
+	withSROA := opt.O2()
+	noSROA := opt.O2()
+	noSROA.SROA = false
+	for _, cfg := range []struct {
+		name string
+		o    opt.Options
+	}{{"sroa", withSROA}, {"nosroa", noSROA}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			art, err := minic.Compile("sroa_bench.mc", src, minic.WithPasses(cfg.o))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := minic.NewSession(art)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bp, err := d.Continue(); err != nil || bp != nil {
+					b.Fatalf("run to completion: %v %v", bp, err)
+				}
+				cycles = d.Debugger().VM.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkSROAFieldInfo measures the per-field classification query: one
+// info command at a stop where 4n member scalars of n decomposed structs
+// are in scope. Fails unless the reports actually carry nested per-field
+// sub-reports.
+func BenchmarkSROAFieldInfo(b *testing.B) {
+	src := sroaBenchSrc(sroaBenchStructs)
+	art, err := minic.Compile("sroa_bench.mc", src, minic.WithPasses(opt.O2()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := minic.NewSession(art)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printLine := 0
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "print(acc") {
+			printLine = i + 1
+		}
+	}
+	if _, err := d.BreakAtLine(printLine); err != nil {
+		b.Fatal(err)
+	}
+	if bp, err := d.Continue(); err != nil || bp == nil {
+		b.Fatalf("continue: %v %v", bp, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	fields := 0
+	for i := 0; i < b.N; i++ {
+		rs, err := d.Info()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fields = 0
+		for _, r := range rs {
+			fields += len(r.Fields)
+		}
+	}
+	if want := 4 * sroaBenchStructs; fields < want {
+		b.Fatalf("info returned %d per-field sub-reports, want >= %d", fields, want)
+	}
+	b.ReportMetric(float64(fields), "fields/op")
+}
