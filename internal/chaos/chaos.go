@@ -7,19 +7,18 @@
 // *wrong* (every successful response is byte-identical to a fault-free
 // run, and the cycle accounting stays conserved).
 //
-// The load generator half (Program / RunIteration / Canonical transcript)
-// is deliberately independent of the injector: the ROADMAP's fleet-scale
-// differential-validation item reuses it as its traffic source.
+// The load generator half lives in internal/loadgen — one scripted-client
+// implementation shared with the differential oracle's soak — and is
+// re-exported here as aliases so soak tests read naturally either way.
 package chaos
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/loadgen"
 	"repro/pkg/minic"
 )
 
@@ -164,139 +163,15 @@ func (s Schedule) Run(stop <-chan struct{}) {
 	}
 }
 
-// Program is one scripted debug interaction: compile src under name,
-// open a session, set a breakpoint, run to it, inspect, run to exit,
-// close. Name feeds the artifact's content address, so distinct names
-// give distinct artifacts over identical source — the soak uses that to
-// churn a small store without perturbing any payload.
-type Program struct {
-	Name      string
-	Src       string
-	BreakFunc string
-	BreakStmt int
-	Prints    []string
-}
+// Program is one scripted debug interaction; it is loadgen.Program, the
+// single shared implementation behind both soaks.
+type Program = loadgen.Program
 
-// DefaultProgram is the soak's workload: a compute loop (so continues
-// execute a deterministic, nontrivial cycle count), a breakpoint in
-// main with locals live to classify, and printed output to compare.
-func DefaultProgram(name string) Program {
-	return Program{
-		Name:      name,
-		Src:       defaultSrc,
-		BreakFunc: "main",
-		BreakStmt: 1,
-		Prints:    []string{"t"},
-	}
-}
+// DefaultProgram is the soak's workload; see loadgen.DefaultProgram.
+func DefaultProgram(name string) Program { return loadgen.DefaultProgram(name) }
 
-const defaultSrc = `
-int work(int n) {
-	int s = 0;
-	int i = 0;
-	while (i < n) {
-		s = s + i * i;
-		i = i + 1;
-	}
-	return s;
-}
-
-int main() {
-	int t = work(200);
-	print(t);
-	return t;
-}
-`
-
-// Steps returns the canonical step labels of one full iteration, in
-// order; a transcript from RunIteration indexes into the same order.
-func (p Program) Steps() []string {
-	steps := []string{"compile", "open", "break", "continue1"}
-	for _, v := range p.Prints {
-		steps = append(steps, "print:"+v)
-	}
-	steps = append(steps, "info", "continue2", "close")
-	return steps
-}
-
-// RunIteration drives one full iteration of p against c and returns the
-// canonical transcript of the steps that succeeded, in step order. A
-// step failure aborts the iteration (the session, if opened, is closed
-// best-effort) and returns the partial transcript plus the error; the
-// transcript's entries are still valid for byte-comparison against a
-// reference run, because every canonical line carries only semantic,
-// deterministic content — artifact ids (content-addressed), stop
-// positions, classified variables, program output — never session ids,
-// cache flags, or timings.
-func RunIteration(c *minic.Client, p Program) (transcript []string, err error) {
-	art, err := c.Compile(p.Name, p.Src)
-	if err != nil {
-		return transcript, fmt.Errorf("compile: %w", err)
-	}
-	transcript = append(transcript, fmt.Sprintf("compile artifact=%s funcs=%d", art.ID, art.Funcs))
-
-	sess, err := c.Open(art.ID)
-	if err != nil {
-		return transcript, fmt.Errorf("open: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			sess.Close() // best-effort; the daemon reaps leaks eventually
-		}
-	}()
-	transcript = append(transcript, fmt.Sprintf("open artifact=%s", art.ID))
-
-	stop, err := sess.BreakAtStmt(p.BreakFunc, p.BreakStmt)
-	if err != nil {
-		return transcript, fmt.Errorf("break: %w", err)
-	}
-	transcript = append(transcript, "break "+canonStop(stop, false, ""))
-
-	stop, out, err := sess.Continue()
-	if err != nil {
-		return transcript, fmt.Errorf("continue1: %w", err)
-	}
-	transcript = append(transcript, "continue1 "+canonStop(stop, stop == nil, out))
-
-	for _, name := range p.Prints {
-		v, err := sess.Print(name)
-		if err != nil {
-			return transcript, fmt.Errorf("print %s: %w", name, err)
-		}
-		transcript = append(transcript, "print "+canonVar(v))
-	}
-
-	vars, err := sess.Info()
-	if err != nil {
-		return transcript, fmt.Errorf("info: %w", err)
-	}
-	parts := make([]string, len(vars))
-	for i, v := range vars {
-		parts[i] = canonVar(v)
-	}
-	transcript = append(transcript, "info "+strings.Join(parts, "; "))
-
-	stop, out, err = sess.Continue()
-	if err != nil {
-		return transcript, fmt.Errorf("continue2: %w", err)
-	}
-	transcript = append(transcript, "continue2 "+canonStop(stop, stop == nil, out))
-
-	out, err = sess.Close()
-	if err != nil {
-		return transcript, fmt.Errorf("close: %w", err)
-	}
-	transcript = append(transcript, fmt.Sprintf("close output=%q", out))
-	return transcript, nil
-}
-
-func canonStop(stop *minic.RemoteStop, exited bool, output string) string {
-	if stop == nil {
-		return fmt.Sprintf("exited=%v output=%q", exited, output)
-	}
-	return fmt.Sprintf("stop=%s:%d:%d", stop.Func, stop.Stmt, stop.Line)
-}
-
-func canonVar(v minic.RemoteVar) string {
-	return fmt.Sprintf("%s=%s:%q", v.Name, v.State, v.Display)
+// RunIteration drives one full iteration of p against c; see
+// loadgen.RunIteration.
+func RunIteration(c *minic.Client, p Program) ([]string, error) {
+	return loadgen.RunIteration(c, p)
 }

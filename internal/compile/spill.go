@@ -35,7 +35,7 @@ import (
 )
 
 // spillVersion guards the wire format; bump on any wire-struct change.
-const spillVersion = 1
+const spillVersion = 2
 
 type wireArtifact struct {
 	Version int
@@ -87,8 +87,9 @@ type wireInstr struct {
 	MarkObj   int32 // object ref
 	MarkAlias mach.Opd
 
-	Stmt    int
-	OrigIdx int
+	Stmt     int
+	OrigIdx  int
+	PreSched int
 
 	// ir.Ann, flattened (its object pointers become refs).
 	Hoisted     bool
@@ -253,7 +254,7 @@ func encInstr(in *mach.Instr) wireInstr {
 		Op: in.Op, Dst: in.Dst, A: in.A, B: in.B, Off: in.Off,
 		Sym: encObj(in.Sym), Callee: in.Callee, ParamIdx: in.ParamIdx,
 		MarkObj: encObj(in.MarkObj), MarkAlias: in.MarkAlias,
-		Stmt: in.Stmt, OrigIdx: in.OrigIdx,
+		Stmt: in.Stmt, OrigIdx: in.OrigIdx, PreSched: in.PreSched,
 		Hoisted: in.Ann.Hoisted, Sunk: in.Ann.Sunk, InsertedBy: in.Ann.InsertedBy,
 		ReplacedVar: encObj(in.Ann.ReplacedVar),
 		DefObj:      encObj(in.DefObj),
@@ -425,8 +426,8 @@ func decInstr(wi *wireInstr, r *objResolver) (*mach.Instr, error) {
 		Op: wi.Op, Dst: wi.Dst, A: wi.A, B: wi.B, Off: wi.Off,
 		Sym: sym, Callee: wi.Callee, ParamIdx: wi.ParamIdx,
 		MarkObj: markObj, MarkAlias: wi.MarkAlias,
-		Stmt: wi.Stmt, OrigIdx: wi.OrigIdx,
-		Ann: ir.Ann{Hoisted: wi.Hoisted, Sunk: wi.Sunk, InsertedBy: wi.InsertedBy, ReplacedVar: replaced},
+		Stmt: wi.Stmt, OrigIdx: wi.OrigIdx, PreSched: wi.PreSched,
+		Ann:    ir.Ann{Hoisted: wi.Hoisted, Sunk: wi.Sunk, InsertedBy: wi.InsertedBy, ReplacedVar: replaced},
 		DefObj: defObj,
 	}
 	if len(wi.Args) > 0 {

@@ -1,0 +1,181 @@
+// Package coverage computes corpus-wide debug-info coverage metrics in
+// the style of Stinnett & Kell ("Accurate Coverage Metrics for
+// Compiler-Generated Debugging Information"): over every breakpoint of a
+// compiled program, every in-scope source-line×variable pair — expanded
+// to source-line×variable×field pairs for SROA-split aggregates — is
+// bucketed by what the paper's classifier says the debugger can show
+// there.
+//
+// The three headline buckets partition the classified pairs:
+//
+//   - current:    the variable's own location holds the expected value
+//     and the debugger displays it with no warning;
+//   - recovered:  the location is endangered but a §2.5 recovery source
+//     (alias, constant, or linear relation) reconstructs the expected
+//     value, so the debugger still displays a correct value;
+//   - noncurrent: everything else — the debugger can only warn
+//     (noncurrent, suspect, or nonresident with no recovery).
+//
+// Uninitialized pairs (the variable is in scope but no source assignment
+// reaches yet) are counted separately and excluded from the percentage
+// base: they say nothing about the optimizer, only about where the
+// breakpoint sits relative to the first assignment.
+//
+// The sweep is deterministic: functions in program order, statements in
+// order, classifications from the precomputed per-breakpoint tables, so
+// the same artifact always produces byte-identical reports. The server's
+// coverage protocol command and the mcoracle CLI both route through
+// Sweep, which is what makes the live-daemon and in-process numbers
+// comparable down to the formatted percentage strings.
+package coverage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+)
+
+// Counts is one row of the coverage report: pair totals and buckets.
+type Counts struct {
+	// Pairs is the total number of statement×variable(×field) pairs
+	// swept, including uninitialized ones.
+	Pairs int
+	// Current / Recovered / Noncurrent partition Pairs - Uninit.
+	Current    int
+	Recovered  int
+	Noncurrent int
+	// Detail of the noncurrent bucket by classifier state.
+	Suspect     int
+	Nonresident int
+	// Uninit counts pairs where no source assignment reaches yet.
+	Uninit int
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.Pairs += o.Pairs
+	c.Current += o.Current
+	c.Recovered += o.Recovered
+	c.Noncurrent += o.Noncurrent
+	c.Suspect += o.Suspect
+	c.Nonresident += o.Nonresident
+	c.Uninit += o.Uninit
+}
+
+// classified is the percentage base: pairs that say something about the
+// optimizer.
+func (c Counts) classified() int { return c.Pairs - c.Uninit }
+
+// Pcts renders the three headline percentages with fixed two-decimal
+// formatting. Every consumer (CLI table, protocol response, docs) must
+// route through this so a live daemon and an in-process sweep of the
+// same artifact agree byte for byte.
+func (c Counts) Pcts() (current, recovered, noncurrent string) {
+	pct := func(n int) string {
+		base := c.classified()
+		if base == 0 {
+			return "0.00"
+		}
+		return fmt.Sprintf("%.2f", 100*float64(n)/float64(base))
+	}
+	return pct(c.Current), pct(c.Recovered), pct(c.Noncurrent)
+}
+
+// FuncCoverage is one function's slice of the sweep.
+type FuncCoverage struct {
+	Func string
+	Counts
+}
+
+// Report is the coverage of one compiled artifact.
+type Report struct {
+	Total Counts
+	Funcs []FuncCoverage
+}
+
+// Sweep computes the coverage report for a compiled program, drawing
+// per-function analyses from set (built lazily if absent). Functions
+// appear in program order; the bucketing mirrors the interactive
+// debugger exactly: struct members are counted under their base
+// aggregate as per-field pairs, never double-counted as free-standing
+// locals.
+func Sweep(res *compile.Result, set *core.AnalysisSet) *Report {
+	rep := &Report{}
+	for _, f := range res.Mach.Funcs {
+		a := set.Of(f)
+		fc := FuncCoverage{Func: f.Name}
+		for s := 0; s < a.Table.NumStmts; s++ {
+			cs, ok := a.ClassifyAllAt(s)
+			if !ok {
+				continue
+			}
+			for _, c := range cs {
+				// Members surface as Fields of their base aggregate.
+				if c.Var.Base != nil {
+					continue
+				}
+				switch {
+				case len(c.Fields) > 0:
+					// Split aggregate: one pair per field, each with its
+					// own verdict.
+					for _, fv := range c.Fields {
+						bucket(&fc.Counts, fv)
+					}
+				case len(c.Var.Members) > 0:
+					// Unsplit aggregate: memory-resident, every field is
+					// displayable, one pair per field.
+					for range c.Var.Members {
+						bucket(&fc.Counts, c)
+					}
+				default:
+					bucket(&fc.Counts, c)
+				}
+			}
+		}
+		rep.Total.Add(fc.Counts)
+		rep.Funcs = append(rep.Funcs, fc)
+	}
+	return rep
+}
+
+// bucket files one classification into the counts.
+func bucket(c *Counts, cls core.Classification) {
+	c.Pairs++
+	switch {
+	case cls.State == core.Uninitialized:
+		c.Uninit++
+	case cls.Recovered != nil:
+		c.Recovered++
+	case cls.State == core.Current:
+		c.Current++
+	default:
+		c.Noncurrent++
+		switch cls.State {
+		case core.Suspect:
+			c.Suspect++
+		case core.Nonresident:
+			c.Nonresident++
+		}
+	}
+}
+
+// Row is one labeled line of a coverage table; the label is typically
+// "workload/config" or a pass name.
+type Row struct {
+	Label string
+	Counts
+}
+
+// FormatTable renders rows as the fixed-width table used by the mcoracle
+// CLI and the README.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %7s %9s %9s %11s %7s\n", "corpus", "pairs", "current%", "recov%", "noncurrent%", "uninit")
+	for _, r := range rows {
+		cur, rec, non := r.Pcts()
+		fmt.Fprintf(&b, "%-28s %7d %9s %9s %11s %7d\n", r.Label, r.Pairs, cur, rec, non, r.Uninit)
+	}
+	return b.String()
+}

@@ -19,12 +19,22 @@ import (
 	"repro/internal/vm"
 )
 
-// Breakpoint is one armed source breakpoint.
+// Breakpoint is one armed source breakpoint. A statement may have several
+// code instances (loop unrolling and peeling clone its code into new
+// blocks); the breakpoint is armed at all of them, because the source-
+// level contract is "stop whenever this statement is about to execute".
 type Breakpoint struct {
 	Fn   *mach.Func
 	Stmt int
 	Line int
-	Loc  debuginfo.Loc
+	// Loc is the canonical instance while the breakpoint is merely armed.
+	// On the *hit* breakpoint returned by Continue/Step (and held by
+	// Stopped), Loc is the instance actually reached — classification and
+	// value reads are taken there, where the machine state lives.
+	Loc debuginfo.Loc
+	// Locs is every armed instance (it always contains Loc). Empty means
+	// single-instance (hand-built breakpoints); only Loc is armed then.
+	Locs []debuginfo.Loc
 }
 
 // Debugger drives one debug session. Multiple sessions may share one
@@ -108,7 +118,8 @@ func (d *Debugger) BreakAtStmt(funcName string, stmt int) (*Breakpoint, error) {
 	if !ok {
 		return nil, fmt.Errorf("debugger: %w: statement %d of %s", ErrNoStmtLoc, stmt, funcName)
 	}
-	bp := &Breakpoint{Fn: f, Stmt: stmt, Line: d.stmtLine(f, stmt), Loc: loc}
+	locs, _ := a.Table.LocsOf(stmt)
+	bp := &Breakpoint{Fn: f, Stmt: stmt, Line: d.stmtLine(f, stmt), Loc: loc, Locs: locs}
 	d.breaks = append(d.breaks, bp)
 	d.bset = nil // recompile the bitmap on the next Continue
 	return bp, nil
@@ -121,8 +132,14 @@ func (d *Debugger) BreakAtStmt(funcName string, stmt int) (*Breakpoint, error) {
 func (d *Debugger) compileBreaks() bool {
 	bs := d.VM.NewBreakSet()
 	for _, bp := range d.breaks {
-		if !bs.Add(bp.Fn, bp.Loc.Block, bp.Loc.Idx) {
-			return false
+		locs := bp.Locs
+		if len(locs) == 0 {
+			locs = []debuginfo.Loc{bp.Loc}
+		}
+		for _, l := range locs {
+			if !bs.Add(bp.Fn, l.Block, l.Idx) {
+				return false
+			}
 		}
 	}
 	d.bset = bs
@@ -169,20 +186,41 @@ func (d *Debugger) ContinueRef() (*Breakpoint, error) {
 	return d.afterRun()
 }
 
-// afterRun records the stop (or exit) after a run-to-breakpoint.
+// afterRun records the stop (or exit) after a run-to-breakpoint. The
+// recorded stop is a copy of the armed breakpoint with Loc set to the
+// instance actually reached, so reporting classifies and reads values at
+// the true machine position rather than the canonical table location.
 func (d *Debugger) afterRun() (*Breakpoint, error) {
 	if d.VM.Halted() {
 		d.stopped = nil
 		return nil, nil
 	}
-	d.stopped = d.matches(d.VM.Position())
+	pos := d.VM.Position()
+	if bp := d.matches(pos); bp != nil {
+		hit := *bp
+		hit.Loc = debuginfo.Loc{Block: pos.Block, Idx: pos.Idx}
+		d.stopped = &hit
+	} else {
+		d.stopped = nil
+	}
 	return d.stopped, nil
 }
 
 func (d *Debugger) matches(p vm.Pos) *Breakpoint {
 	for _, bp := range d.breaks {
-		if p.Fn == bp.Fn && p.Block == bp.Loc.Block && p.Idx == bp.Loc.Idx {
-			return bp
+		if p.Fn != bp.Fn {
+			continue
+		}
+		if len(bp.Locs) == 0 {
+			if p.Block == bp.Loc.Block && p.Idx == bp.Loc.Idx {
+				return bp
+			}
+			continue
+		}
+		for _, l := range bp.Locs {
+			if p.Block == l.Block && p.Idx == l.Idx {
+				return bp
+			}
 		}
 	}
 	return nil
@@ -508,9 +546,22 @@ func (d *Debugger) Info() ([]*VarReport, error) {
 	return out, nil
 }
 
-func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
+// classifyStop classifies obj at the stop described by bp. The stop's Loc
+// is the instruction actually about to execute (a breakpoint may be armed
+// at several instances of its statement, and a step stop can sit at any
+// statement boundary), and the machine state the user inspects is the
+// state at that instruction — so the dataflow must be read there too, not
+// at the statement's canonical table location.
+func (d *Debugger) classifyStop(bp *Breakpoint, obj *ast.Object) (core.Classification, bool) {
 	a := d.analysisOf(bp.Fn)
-	cls, ok := a.ClassifyAt(bp.Stmt, obj)
+	if bp.Loc.Block != nil {
+		return a.ClassifyLoc(bp.Loc, obj), true
+	}
+	return a.ClassifyAt(bp.Stmt, obj)
+}
+
+func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
+	cls, ok := d.classifyStop(bp, obj)
 	if !ok {
 		return nil, fmt.Errorf("debugger: %w: statement %d", ErrNoStmtLoc, bp.Stmt)
 	}
@@ -532,7 +583,7 @@ func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
 			if i < len(cls.Fields) {
 				sub = &VarReport{Name: m.Name, Class: cls.Fields[i]}
 			} else {
-				mc, ok := a.ClassifyAt(bp.Stmt, m)
+				mc, ok := d.classifyStop(bp, m)
 				if !ok {
 					mc = core.Classification{Var: m, State: core.Current}
 				}
@@ -544,16 +595,7 @@ func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
 				}
 			}
 			if fr != nil && fr.Fn == bp.Fn {
-				if v, ok := d.readActual(fr, m); ok {
-					sub.HasVal = true
-					sub.Val = v
-				}
-				if sub.Class.Recovered != nil {
-					if v, ok := d.readRecovered(fr, sub.Class.Recovered); ok {
-						sub.HasRecovered = true
-						sub.RecoveredVal = v
-					}
-				}
+				d.fillVals(fr, m, sub)
 			}
 			r.Fields = append(r.Fields, sub)
 		}
@@ -563,17 +605,34 @@ func (d *Debugger) report(bp *Breakpoint, obj *ast.Object) (*VarReport, error) {
 	if fr == nil || fr.Fn != bp.Fn {
 		return r, nil
 	}
+	d.fillVals(fr, obj, r)
+	return r, nil
+}
+
+// fillVals populates the report's value channels. A Current verdict with
+// a recovery attached is current *through the recovery source* (§2.5):
+// the variable's own location is stale (its assignment was replaced by
+// an inlined expression), so the recovered value IS the value — exposing
+// the stale home location as a trustworthy current value would mislead
+// any consumer of the structured report. When such a recovery cannot be
+// read, no value is reported at all rather than the stale one.
+func (d *Debugger) fillVals(fr *vm.Frame, obj *ast.Object, r *VarReport) {
 	if v, ok := d.readActual(fr, obj); ok {
 		r.HasVal = true
 		r.Val = v
 	}
-	if cls.Recovered != nil {
-		if v, ok := d.readRecovered(fr, cls.Recovered); ok {
-			r.HasRecovered = true
-			r.RecoveredVal = v
-		}
+	if r.Class.Recovered == nil {
+		return
 	}
-	return r, nil
+	if v, ok := d.readRecovered(fr, r.Class.Recovered); ok {
+		r.HasRecovered = true
+		r.RecoveredVal = v
+		if r.Class.State == core.Current {
+			r.Val, r.HasVal = v, true
+		}
+	} else if r.Class.State == core.Current {
+		r.HasVal = false
+	}
 }
 
 // readActual reads the runtime value in the variable's location.

@@ -22,6 +22,13 @@ type Table struct {
 	// stmtLoc[s] is the chosen breakpoint location for statement s
 	// (nil Block = no location).
 	stmtLoc []Loc
+	// stmtInst[s] is every *instance* location of statement s: one per
+	// block that contains the statement's own code (original instructions
+	// or the marker left by its deletion). Loop unrolling and peeling
+	// clone statement code into new blocks, and a source breakpoint must
+	// fire at every copy — arming only the canonical stmtLoc would let
+	// the peeled first iteration run past the breakpoint silently.
+	stmtInst [][]Loc
 	// NumStmts mirrors the frontend's statement count.
 	NumStmts int
 	// varsAt[s] caches the locals in scope at statement s; the slices are
@@ -45,7 +52,16 @@ func Build(f *mach.Func) *Table {
 	for i := range best {
 		best[i] = -1
 	}
+	t.stmtInst = make([][]Loc, t.NumStmts)
+	type cand struct {
+		rank, orig, idx int
+		ok              bool
+	}
+	blockBest := map[int]cand{} // stmt -> best instance in the current block
 	for _, b := range f.Blocks {
+		for s := range blockBest {
+			delete(blockBest, s)
+		}
 		for idx, in := range b.Instrs {
 			s := in.Stmt
 			if s < 0 || s >= t.NumStmts {
@@ -62,6 +78,51 @@ func Build(f *mach.Func) *Table {
 				best[s] = in.OrigIdx
 				t.stmtLoc[s] = Loc{Block: b, Idx: idx}
 			}
+			// Per-block instance: only the statement's own code counts
+			// (rank >= 2). Hoisted, sunk, and pass-inserted copies are not
+			// instances — stopping at them would be a phantom stop at a
+			// point the source program never reaches as that statement.
+			if r >= 2 {
+				c := blockBest[s]
+				if !c.ok || r > c.rank || (r == c.rank && in.OrigIdx < c.orig) {
+					blockBest[s] = cand{rank: r, orig: in.OrigIdx, idx: idx, ok: true}
+				}
+			}
+		}
+		for s, c := range blockBest {
+			t.stmtInst[s] = append(t.stmtInst[s], Loc{Block: b, Idx: c.idx})
+		}
+	}
+	// Continuation suppression: a multi-block condition (short-circuit
+	// && / ||) spreads ONE statement's code across consecutive blocks.
+	// Arming every block would stop twice for a single source evaluation,
+	// so a non-canonical instance is kept only when it *enters* the
+	// statement — some earlier tagged instruction in its block belongs to
+	// a different statement, or the block is led by this statement but
+	// reached from a predecessor whose trailing code is a different
+	// statement (or has no predecessors). A block led by s and reached
+	// only from blocks ending in s merely continues the same evaluation.
+	// The canonical location is exempt and always armed: a loop-header
+	// test's back edge is tagged with the condition's own statement and
+	// must not suppress the loop's stop point.
+	for s := 0; s < t.NumStmts; s++ {
+		if len(t.stmtInst[s]) <= 1 {
+			continue
+		}
+		kept := t.stmtInst[s][:0]
+		for _, l := range t.stmtInst[s] {
+			if l == t.stmtLoc[s] || entersStmt(l, s) {
+				kept = append(kept, l)
+			}
+		}
+		t.stmtInst[s] = kept
+	}
+	// A statement whose only code is inserted copies still resolves (the
+	// canonical location points at one); its instance list is that single
+	// location, preserving the pre-instance behavior.
+	for s := 0; s < t.NumStmts; s++ {
+		if len(t.stmtInst[s]) == 0 && t.stmtLoc[s].Block != nil {
+			t.stmtInst[s] = []Loc{t.stmtLoc[s]}
 		}
 	}
 	t.varsAt = make([][]*ast.Object, t.NumStmts)
@@ -75,6 +136,38 @@ func Build(f *mach.Func) *Table {
 	return t
 }
 
+// entersStmt reports whether the instance of statement s at l begins a new
+// source-level evaluation of s, as opposed to continuing one started in a
+// predecessor block (see the suppression comment in Build).
+func entersStmt(l Loc, s int) bool {
+	b := l.Block
+	for i := l.Idx - 1; i >= 0 && i < len(b.Instrs); i-- {
+		if st := b.Instrs[i].Stmt; st >= 0 && st != s {
+			return true
+		}
+	}
+	if len(b.Preds) == 0 {
+		return true
+	}
+	for _, p := range b.Preds {
+		if trailingStmt(p) != s {
+			return true
+		}
+	}
+	return false
+}
+
+// trailingStmt returns the statement tag of b's last tagged instruction,
+// or -1 when the block carries no source tags.
+func trailingStmt(b *mach.Block) int {
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		if st := b.Instrs[i].Stmt; st >= 0 {
+			return st
+		}
+	}
+	return -1
+}
+
 // LocOf returns the breakpoint location for statement s, falling back to
 // the next statement with code. ok is false when no location exists at or
 // after s.
@@ -85,6 +178,31 @@ func (t *Table) LocOf(s int) (Loc, bool) {
 		}
 	}
 	return Loc{}, false
+}
+
+// LocsOf returns every instance location for statement s — one per block
+// holding the statement's own code (clones from unrolling and peeling
+// included) — with the same forward fallback as LocOf. The canonical
+// LocOf location is always among them. ok is false when no location
+// exists at or after s. The returned slice is shared: callers must not
+// modify it.
+func (t *Table) LocsOf(s int) ([]Loc, bool) {
+	for x := s; x < t.NumStmts; x++ {
+		if len(t.stmtInst[x]) > 0 {
+			return t.stmtInst[x], true
+		}
+	}
+	return nil, false
+}
+
+// InstancesOf returns statement s's own instance locations with no
+// fallback (nil when s has no code). The slice is shared: callers must
+// not modify it.
+func (t *Table) InstancesOf(s int) []Loc {
+	if s < 0 || s >= len(t.stmtInst) {
+		return nil
+	}
+	return t.stmtInst[s]
 }
 
 // HasOwnLoc reports whether statement s maps to its own code (no fallback).
@@ -118,6 +236,9 @@ func (t *Table) VarsInScope(s int) []*ast.Object {
 func (t *Table) SizeBytes() int64 {
 	n := int64(64) // header
 	n += int64(len(t.stmtLoc)) * 24
+	for _, ls := range t.stmtInst {
+		n += 24 + int64(len(ls))*24
+	}
 	for _, vs := range t.varsAt {
 		n += 24 + int64(len(vs))*8
 	}

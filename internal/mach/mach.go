@@ -220,6 +220,15 @@ type Instr struct {
 	Stmt    int
 	OrigIdx int
 	Ann     ir.Ann
+	// PreSched is the instruction's index within its block immediately
+	// before scheduling ran (meaningful only when Func.Scheduled). The
+	// pre-scheduling block order is the source-dynamic order of the
+	// block's code, so comparing PreSched against a breakpoint
+	// instruction's PreSched tells the debugger whether the scheduler
+	// moved this instruction across the stop — OrigIdx cannot serve here
+	// because passes that rebuild instructions stamp fresh emission
+	// indices.
+	PreSched int
 
 	// DefObj / UseObjs tag the source variables this instruction defines
 	// and reads. They are assigned at lowering time from the virtual

@@ -98,6 +98,16 @@ func chainBranches(f *ir.Func) bool {
 					// single-pred case below.)
 					break
 				}
+				// Markers land at the head of the block the chain ends in,
+				// which is exact only while every path into that block runs
+				// through the chain. Advancing into a join with other
+				// predecessors would put a path-specific marker (say, the
+				// markdead of a conditionally deleted assignment) on paths
+				// where the assignment never executed, and recovery would
+				// fabricate its value there — stop the chain instead.
+				if len(collected)+len(marks) > 0 && len(cur.Succs[0].Preds) != 1 {
+					break
+				}
 				collected = append(collected, marks...)
 				cur = cur.Succs[0]
 			}

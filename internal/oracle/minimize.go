@@ -1,0 +1,83 @@
+// Source minimization for recorded defects: a failing randprog seed is a
+// few hundred lines; the repro that lands in a regression test should be
+// the handful of statements that actually provoke the bug. The reducer
+// is a line-chunk ddmin: it repeatedly tries dropping contiguous line
+// ranges (halving the chunk size as progress stalls) and keeps any
+// candidate that still compiles and still reproduces a defect of the
+// same kind on the same variable under the same configuration.
+// Candidates that no longer parse or compile are simply rejected — the
+// compiler is the syntax filter, so the reducer needs no grammar
+// knowledge.
+package oracle
+
+import (
+	"strings"
+
+	"repro/internal/compile"
+)
+
+// maxReduceAttempts bounds the total differential re-runs one
+// minimization may spend; reduction is best-effort and a partial
+// reduction is still a better repro than the full source.
+const maxReduceAttempts = 400
+
+// minimizeMismatch reduces m.Src while a defect with the same config,
+// kind, and variable still reproduces. It returns the reduced source
+// (equal to m.Src when nothing could be removed).
+func minimizeMismatch(m Mismatch, configs map[string]compile.Config, maxStops int) string {
+	cfg, ok := configs[m.Config]
+	if !ok {
+		return m.Src
+	}
+	single := map[string]compile.Config{m.Config: cfg}
+	attempts := 0
+	keep := func(src string) bool {
+		if attempts >= maxReduceAttempts {
+			return false
+		}
+		attempts++
+		found, err := diffSource(m.Seed, "min.mc", src, single, maxStops, nil)
+		if err != nil {
+			return false // doesn't compile or trace — not a candidate
+		}
+		for _, f := range found {
+			if f.Kind == m.Kind && f.Var == m.Var {
+				return true
+			}
+		}
+		return false
+	}
+	if !keep(m.Src) {
+		// The defect doesn't reproduce in isolation (shouldn't happen —
+		// the differential is deterministic); keep the full source.
+		return m.Src
+	}
+	return reduceLines(m.Src, keep)
+}
+
+// reduceLines is the ddmin loop: drop chunks of lines while keep holds.
+func reduceLines(src string, keep func(string) bool) string {
+	lines := strings.Split(src, "\n")
+	chunk := len(lines) / 2
+	for chunk >= 1 {
+		removed := false
+		for start := 0; start+chunk <= len(lines); {
+			candidate := make([]string, 0, len(lines)-chunk)
+			candidate = append(candidate, lines[:start]...)
+			candidate = append(candidate, lines[start+chunk:]...)
+			if keep(strings.Join(candidate, "\n")) {
+				lines = candidate
+				removed = true
+				// Retry the same start: the next chunk slid into place.
+			} else {
+				start += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		} else if chunk > len(lines) {
+			chunk = len(lines)
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,76 @@
+package oracle
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/coverage"
+)
+
+// TestPassCoverage pins the per-pass coverage table's shape and its
+// determinism: one row per variant, the O0 floor all-current, and two
+// runs byte-identical through the canonical formatter.
+func TestPassCoverage(t *testing.T) {
+	seeds := []int64{0, 1, 2}
+	rows, err := PassCoverage(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PassVariants()) {
+		t.Fatalf("%d rows for %d variants", len(rows), len(PassVariants()))
+	}
+	for _, r := range rows {
+		if r.Pairs == 0 {
+			t.Errorf("variant %s swept zero pairs", r.Label)
+		}
+		if r.Label == "O0" {
+			if cur, _, _ := r.Pcts(); cur != "100.00" {
+				t.Errorf("O0 floor is %s%% current, want 100.00", cur)
+			}
+		}
+	}
+	again, err := PassCoverage(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coverage.FormatTable(rows) != coverage.FormatTable(again) {
+		t.Error("pass coverage is not deterministic")
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Error("pass coverage rows differ between runs")
+	}
+}
+
+// TestWorkloadCoverage pins the per-workload table: every workload
+// under every config plus per-config totals, O0 rows all-current.
+func TestWorkloadCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles every bench workload under three configs")
+	}
+	rows, err := WorkloadCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o0Rows, totalRows int
+	for _, r := range rows {
+		if strings.HasSuffix(r.Label, "/O0") {
+			o0Rows++
+			if cur, _, _ := r.Pcts(); cur != "100.00" {
+				t.Errorf("%s is %s%% current, want 100.00", r.Label, cur)
+			}
+		}
+		if strings.HasPrefix(r.Label, "total/") {
+			totalRows++
+			if r.Pairs == 0 {
+				t.Errorf("%s swept zero pairs", r.Label)
+			}
+		}
+	}
+	if totalRows != 3 {
+		t.Errorf("%d total rows, want 3", totalRows)
+	}
+	if o0Rows < 2 {
+		t.Errorf("only %d O0 rows", o0Rows)
+	}
+}

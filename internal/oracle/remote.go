@@ -1,0 +1,277 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/randprog"
+	"repro/pkg/minic"
+)
+
+// This file is the oracle's remote half: the same paired-session
+// differential, but with one side living on a live mcd daemon. The
+// in-process session is the ground truth (it runs the exact library
+// code the corpus sweep validated); the daemon replays the identical
+// breakpoint schedule through the wire protocol, and every stop,
+// classified variable, and program output must match the in-process
+// transcript byte for byte. This closes the gap the in-process sweep
+// cannot see: the daemon's artifact store, incremental function cache,
+// wire encoding, and session machinery all sit between the classifier
+// and the user, and any of them corrupting a verdict is invisible to a
+// purely in-process differential. (The function-cache codec dropping a
+// scheduling field is exactly the defect class this catches.)
+//
+// The same run cross-checks the daemon's coverage command against the
+// in-process sweep of the same artifact — counts and the formatted
+// percentage strings both — which is the acceptance criterion for the
+// coverage protocol surface.
+
+// remoteSpecs are the wire configurations paired with the in-process
+// compile.Config each must reproduce.
+func remoteSpecs() []struct {
+	name string
+	cfg  compile.Config
+	spec *minic.RemoteConfig
+} {
+	f := false
+	return []struct {
+		name string
+		cfg  compile.Config
+		spec *minic.RemoteConfig
+	}{
+		{"O0", compile.O0(), &minic.RemoteConfig{Opt: "O0"}},
+		{"O2", compile.O2(), nil},
+		{"O2NoRegAlloc", compile.O2NoRegAlloc(), &minic.RemoteConfig{Opt: "O2", RegAlloc: &f, Sched: &f}},
+	}
+}
+
+// RemoteOptions configures CheckRemote.
+type RemoteOptions struct {
+	// Seeds are the randprog seeds to replay; nil means 0..9.
+	Seeds []int64
+	// MaxStops bounds each trace; 0 means 200.
+	MaxStops int
+}
+
+// RemoteResult is one remote differential's outcome.
+type RemoteResult struct {
+	Seeds int
+	// LinesCompared counts transcript lines held equal across the wire
+	// (stops, per-variable classifications, outputs).
+	LinesCompared int
+	// CoverageRows counts coverage rows (totals + per function) held
+	// equal between the daemon's coverage command and the in-process
+	// sweep.
+	CoverageRows int
+	// Mismatches describes every divergence found; empty means the
+	// daemon is transparent.
+	Mismatches []string
+}
+
+// CheckRemote replays the oracle's session script against a live daemon
+// and the in-process library side by side, for every seed under every
+// standard configuration, and requires byte-identical transcripts and
+// coverage reports.
+func CheckRemote(c *minic.Client, o RemoteOptions) (*RemoteResult, error) {
+	seeds := o.Seeds
+	if seeds == nil {
+		for s := int64(0); s < 10; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	maxStops := o.MaxStops
+	if maxStops == 0 {
+		maxStops = 200
+	}
+	res := &RemoteResult{}
+	for _, seed := range seeds {
+		src := randprog.Gen(seed)
+		name := fmt.Sprintf("rand%d.mc", seed)
+		for _, sp := range remoteSpecs() {
+			a, err := artifactFor(name, src, sp.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("seed %d %s: local compile: %w", seed, sp.name, err)
+			}
+			brk := schedule(a)
+			local, err := canonLocalTrace(a, brk, maxStops)
+			if err != nil {
+				return nil, fmt.Errorf("seed %d %s: local trace: %w", seed, sp.name, err)
+			}
+			remote, artID, err := canonRemoteTrace(c, name, src, sp.spec, brk, maxStops)
+			if err != nil {
+				return nil, fmt.Errorf("seed %d %s: remote trace: %w", seed, sp.name, err)
+			}
+			tag := fmt.Sprintf("seed %d %s", seed, sp.name)
+			res.LinesCompared += compareLines(res, tag, local, remote)
+
+			// Coverage: the daemon's sweep of its artifact must equal the
+			// in-process sweep of the same source and configuration.
+			cov, err := c.Coverage(artID)
+			if err != nil {
+				return nil, fmt.Errorf("%s: remote coverage: %w", tag, err)
+			}
+			lc := canonLocalCoverage(a)
+			rc := canonRemoteCoverage(cov)
+			res.CoverageRows += compareLines(res, tag+" coverage", lc, rc)
+		}
+		res.Seeds++
+	}
+	return res, nil
+}
+
+// compareLines byte-compares two canonical transcripts, appending a
+// mismatch entry per divergent line, and returns how many lines were
+// held equal.
+func compareLines(res *RemoteResult, tag string, local, remote []string) int {
+	n := len(local)
+	if len(remote) < n {
+		n = len(remote)
+	}
+	for i := 0; i < n; i++ {
+		if local[i] != remote[i] {
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("%s line %d: remote %q, in-process %q", tag, i, remote[i], local[i]))
+		}
+	}
+	if len(local) != len(remote) {
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("%s: transcript length: remote %d lines, in-process %d", tag, len(remote), len(local)))
+	}
+	return n
+}
+
+// canonLocalTrace drives the in-process ground-truth session over the
+// schedule and renders the canonical transcript: break resolutions,
+// stops, every in-scope variable's classified display (fields nested),
+// and the final output. Continue errors canonicalize to a bare "error"
+// line — the two sides bound execution differently, so only the fact of
+// the error is comparable.
+func canonLocalTrace(a *minic.Artifact, brk []breakReq, maxStops int) ([]string, error) {
+	s, err := minic.NewSession(a)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, b := range brk {
+		_, err := s.BreakAtStmt(b.fn, b.stmt)
+		lines = append(lines, fmt.Sprintf("break %s:%d ok=%v", b.fn, b.stmt, err == nil))
+	}
+	for i := 0; i < maxStops; i++ {
+		bp, err := s.Continue()
+		if err != nil {
+			lines = append(lines, "error")
+			return lines, nil
+		}
+		if bp == nil {
+			lines = append(lines, fmt.Sprintf("exited output=%q", s.Output()))
+			return lines, nil
+		}
+		lines = append(lines, fmt.Sprintf("stop %s:%d:%d", bp.Fn.Name, bp.Stmt, bp.Line))
+		if reports, err := s.Info(); err == nil {
+			for _, r := range reports {
+				lines = append(lines, "  "+canonLocalVar(r))
+			}
+		}
+	}
+	lines = append(lines, "truncated")
+	return lines, nil
+}
+
+// canonRemoteTrace drives the identical script against the daemon.
+func canonRemoteTrace(c *minic.Client, name, src string, spec *minic.RemoteConfig, brk []breakReq, maxStops int) ([]string, string, error) {
+	art, err := c.CompileWith(name, src, spec)
+	if err != nil {
+		return nil, "", err
+	}
+	sess, err := c.Open(art.ID)
+	if err != nil {
+		return nil, "", err
+	}
+	defer sess.Close() //nolint:errcheck // best-effort; the daemon reaps leaks
+	var lines []string
+	for _, b := range brk {
+		_, err := sess.BreakAtStmt(b.fn, b.stmt)
+		lines = append(lines, fmt.Sprintf("break %s:%d ok=%v", b.fn, b.stmt, err == nil))
+	}
+	for i := 0; i < maxStops; i++ {
+		stop, out, err := sess.Continue()
+		if err != nil {
+			lines = append(lines, "error")
+			return lines, art.ID, nil
+		}
+		if stop == nil {
+			lines = append(lines, fmt.Sprintf("exited output=%q", out))
+			return lines, art.ID, nil
+		}
+		lines = append(lines, fmt.Sprintf("stop %s:%d:%d", stop.Func, stop.Stmt, stop.Line))
+		if vars, err := sess.Info(); err == nil {
+			for _, v := range vars {
+				lines = append(lines, "  "+canonRemoteVar(v))
+			}
+		}
+	}
+	lines = append(lines, "truncated")
+	return lines, art.ID, nil
+}
+
+// canonLocalVar renders one in-process variable report exactly as
+// canonRemoteVar renders its wire twin: the daemon builds VarInfo from
+// the same VarReport via State.String() and Display(), so the two forms
+// agree iff the daemon preserved the classification.
+func canonLocalVar(r *minic.VarReport) string {
+	s := fmt.Sprintf("%s=%s:%q", r.Name, r.Class.State.String(), r.Display())
+	for _, f := range r.Fields {
+		s += "|" + canonLocalVar(f)
+	}
+	return s
+}
+
+func canonRemoteVar(v minic.RemoteVar) string {
+	s := fmt.Sprintf("%s=%s:%q", v.Name, v.State, v.Display)
+	for _, f := range v.Fields {
+		s += "|" + canonRemoteVar(f)
+	}
+	return s
+}
+
+// canonLocalCoverage renders the in-process sweep as canonical rows:
+// the totals first, then one row per function in program order, counts
+// and the formatted percentage strings both.
+func canonLocalCoverage(a *minic.Artifact) []string {
+	rep := a.Coverage()
+	lines := []string{canonCovRow("total", rep.Total.Pairs, rep.Total.Current, rep.Total.Recovered,
+		rep.Total.Noncurrent, rep.Total.Suspect, rep.Total.Nonresident, rep.Total.Uninit, pcts3(rep.Total))}
+	for _, f := range rep.Funcs {
+		lines = append(lines, canonCovRow(f.Func, f.Pairs, f.Current, f.Recovered,
+			f.Noncurrent, f.Suspect, f.Nonresident, f.Uninit, pcts3(f.Counts)))
+	}
+	return lines
+}
+
+func canonRemoteCoverage(cov *minic.RemoteCoverage) []string {
+	if cov == nil {
+		return nil
+	}
+	row := func(label string, c minic.RemoteCoverageCounts) string {
+		return canonCovRow(label, c.Pairs, c.Current, c.Recovered, c.Noncurrent,
+			c.Suspect, c.Nonresident, c.Uninit,
+			c.CurrentPct+"/"+c.RecoveredPct+"/"+c.NoncurrentPct)
+	}
+	lines := []string{row("total", cov.CoverageCounts)}
+	for _, f := range cov.Funcs {
+		lines = append(lines, row(f.Func, f.CoverageCounts))
+	}
+	return lines
+}
+
+func canonCovRow(label string, pairs, cur, rec, non, sus, nonres, uninit int, pcts string) string {
+	return fmt.Sprintf("%s pairs=%d cur=%d rec=%d non=%d sus=%d nonres=%d uninit=%d pct=%s",
+		label, pairs, cur, rec, non, sus, nonres, uninit, pcts)
+}
+
+func pcts3(c interface {
+	Pcts() (string, string, string)
+}) string {
+	cur, rec, non := c.Pcts()
+	return cur + "/" + rec + "/" + non
+}

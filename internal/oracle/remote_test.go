@@ -1,0 +1,57 @@
+package oracle
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/server"
+	"repro/pkg/minic"
+)
+
+// TestCheckRemote runs the remote half of the oracle against a live
+// in-process daemon: for every seed and configuration the daemon's
+// session transcript (stops, classified variables, output) and its
+// coverage command must be byte-identical to the in-process ground
+// truth. This is the check that sees through the daemon's artifact
+// store, incremental function cache, and wire encoding.
+func TestCheckRemote(t *testing.T) {
+	s := server.New(server.Options{})
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ListenAndServe(l) //nolint:errcheck // exits when the listener closes
+
+	c, err := minic.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := CheckRemote(c, RemoteOptions{Seeds: []int64{0, 1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Mismatches {
+		t.Errorf("remote mismatch: %s", m)
+	}
+	// A vacuously green run proves nothing: require real volume.
+	if res.LinesCompared < 1000 {
+		t.Errorf("only %d transcript lines compared; the remote differential is not exercising the daemon", res.LinesCompared)
+	}
+	if res.CoverageRows < 15 {
+		t.Errorf("only %d coverage rows compared", res.CoverageRows)
+	}
+
+	// Compiling the same seeds again hits the daemon's caches; the
+	// transcripts must not change. (A function-cache codec that drops a
+	// classification-relevant field diverges exactly here.)
+	res2, err := CheckRemote(c, RemoteOptions{Seeds: []int64{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res2.Mismatches {
+		t.Errorf("warm-cache remote mismatch: %s", m)
+	}
+}

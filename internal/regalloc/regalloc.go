@@ -445,8 +445,56 @@ func insertAt(b *mach.Block, pos int, in *mach.Instr) {
 
 // rewrite maps vregs of the class to their physical registers and records
 // variable locations.
+// pruneStaleAliases drops MarkAlias operands that name a vreg which is
+// not live at the marker's position. The coloring guarantee — the
+// assigned physical register holds the vreg's value — covers only the
+// vreg's live range; markers deliberately do not extend live ranges
+// (an alias must never keep a value alive), so a marker can sit past
+// the aliased vreg's last use, where the register may already have
+// been reused for an unrelated value. ValidateMarkers cannot catch
+// this: it runs on IR before allocation and physical register reuse
+// does not exist yet. Recovering through such an alias would fabricate
+// a value, so it is degraded to no recovery instead. Must run before
+// operands are rewritten to physical numbers.
+func (a *allocator) pruneStaleAliases(class mach.RegClass) {
+	f := a.f
+	any := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mach.MARKDEAD && in.MarkAlias.Kind == mach.Reg && in.MarkAlias.Class == class {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	_, liveOut := Liveness(f)
+	var buf []mach.Opd
+	for bi, b := range f.Blocks {
+		live := liveOut[bi].Copy()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			// Markers have no defs or uses, so live-after equals
+			// live-at for them; check before applying effects.
+			if in.Op == mach.MARKDEAD && in.MarkAlias.Kind == mach.Reg && in.MarkAlias.Class == class &&
+				!live.Has(RegKey(in.MarkAlias)) {
+				in.MarkAlias = mach.Opd{}
+			}
+			if d := in.Def(); d.IsReg() {
+				live.Clear(RegKey(d))
+			}
+			buf = in.Uses(buf[:0])
+			for _, o := range buf {
+				live.Set(RegKey(o))
+			}
+		}
+	}
+}
+
 func (a *allocator) rewrite(g *igraph, class mach.RegClass, spilled map[int]int64) {
 	f := a.f
+	a.pruneStaleAliases(class)
 	phys := func(o *mach.Opd) {
 		if o.Kind == mach.Reg && o.Class == class {
 			if c, ok := g.colors[o.R]; ok {

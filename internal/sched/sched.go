@@ -24,9 +24,15 @@ func Schedule(p *mach.Program) {
 	}
 }
 
-// ScheduleFunc schedules one function.
+// ScheduleFunc schedules one function. Before a block is reordered, every
+// instruction records its pre-scheduling position (Instr.PreSched): the
+// debugger compares those positions against a breakpoint's to detect
+// assignments and stores moved across a stop.
 func ScheduleFunc(f *mach.Func) {
 	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			in.PreSched = i
+		}
 		scheduleBlock(b)
 	}
 	f.Scheduled = true

@@ -108,6 +108,10 @@ func appendResponse(b []byte, r *Response) []byte {
 		b = append(b, `,"stats":`...)
 		b = appendStats(b, r.Stats)
 	}
+	if r.Coverage != nil {
+		b = append(b, `,"coverage":`...)
+		b = appendCoverage(b, r.Coverage)
+	}
 	if len(r.Results) > 0 {
 		b = append(b, `,"results":[`...)
 		for i := range r.Results {
@@ -141,6 +145,56 @@ func appendVarInfo(b []byte, v *VarInfo) []byte {
 		b = append(b, ']')
 	}
 	return append(b, '}')
+}
+
+// appendCoverage appends one coverage report: the embedded totals row
+// inlined first (matching encoding/json's embedding order), then the
+// per-function rows.
+func appendCoverage(b []byte, ci *CoverageInfo) []byte {
+	b = append(b, '{')
+	b = appendCoverageCounts(b, &ci.CoverageCounts)
+	if len(ci.Funcs) > 0 {
+		b = append(b, `,"funcs":[`...)
+		for i := range ci.Funcs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			f := &ci.Funcs[i]
+			b = append(b, `{"func":`...)
+			b = appendString(b, f.Func)
+			b = append(b, ',')
+			b = appendCoverageCounts(b, &f.CoverageCounts)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// appendCoverageCounts appends the fields of one counts row without the
+// surrounding braces (the caller composes it into its object).
+func appendCoverageCounts(b []byte, c *CoverageCounts) []byte {
+	b = append(b, `"pairs":`...)
+	b = strconv.AppendInt(b, int64(c.Pairs), 10)
+	b = append(b, `,"current":`...)
+	b = strconv.AppendInt(b, int64(c.Current), 10)
+	b = append(b, `,"recovered":`...)
+	b = strconv.AppendInt(b, int64(c.Recovered), 10)
+	b = append(b, `,"noncurrent":`...)
+	b = strconv.AppendInt(b, int64(c.Noncurrent), 10)
+	b = append(b, `,"suspect":`...)
+	b = strconv.AppendInt(b, int64(c.Suspect), 10)
+	b = append(b, `,"nonresident":`...)
+	b = strconv.AppendInt(b, int64(c.Nonresident), 10)
+	b = append(b, `,"uninit":`...)
+	b = strconv.AppendInt(b, int64(c.Uninit), 10)
+	b = append(b, `,"current_pct":`...)
+	b = appendString(b, c.CurrentPct)
+	b = append(b, `,"recovered_pct":`...)
+	b = appendString(b, c.RecoveredPct)
+	b = append(b, `,"noncurrent_pct":`...)
+	b = appendString(b, c.NoncurrentPct)
+	return b
 }
 
 // appendStats mirrors the Stats struct field for field; none of its
@@ -194,6 +248,8 @@ func appendStats(b []byte, st *Stats) []byte {
 	field("func_cache_entries", int64(st.FuncCacheEntries))
 	field("func_cache_bytes", st.FuncCacheBytes)
 	field("func_cache_evictions", st.FuncCacheEvictions)
+	field("coverage_sweeps", st.CoverageSweeps)
+	field("coverage_pairs", st.CoveragePairs)
 	return append(b, '}')
 }
 

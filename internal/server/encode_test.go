@@ -23,6 +23,7 @@ func fullStats() *Stats {
 		VMFastRuns: 29, VMSlowRuns: 30,
 		CompileWorkers: 31, FuncsCompiled: 32, FuncsReused: 33, CompileMSTotal: 34,
 		FuncCacheEntries: 35, FuncCacheBytes: 36, FuncCacheEvictions: 37,
+		CoverageSweeps: 38, CoveragePairs: 39,
 	}
 }
 
@@ -53,6 +54,18 @@ func encodeCorpus() []*Response {
 		}},
 		{OK: true, Stats: &Stats{}},
 		{OK: true, Stats: fullStats()},
+		{OK: true, Coverage: &CoverageInfo{}},
+		{OK: true, Artifact: "sha:cov", Coverage: &CoverageInfo{
+			CoverageCounts: CoverageCounts{Pairs: 120, Current: 40, Recovered: 50,
+				Noncurrent: 20, Suspect: 5, Nonresident: 15, Uninit: 10,
+				CurrentPct: "36.36", RecoveredPct: "45.45", NoncurrentPct: "18.18"},
+			Funcs: []FuncCoverageInfo{
+				{Func: "main", CoverageCounts: CoverageCounts{Pairs: 100, Current: 40,
+					CurrentPct: "40.00", RecoveredPct: "0.00", NoncurrentPct: "0.00"}},
+				{Func: "h\"0", CoverageCounts: CoverageCounts{Pairs: 20, Uninit: 20,
+					CurrentPct: "0.00", RecoveredPct: "0.00", NoncurrentPct: "0.00"}},
+			},
+		}},
 		{ID: 9, OK: true, Results: []Response{
 			{ID: 10, OK: true, Stop: &StopInfo{Func: "f", Stmt: 3, Line: 14}},
 			{ID: 11, OK: false, Error: &ProtoError{Code: CodeNoSuchVar, Message: "no var <x> & \"y\""}},

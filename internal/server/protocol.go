@@ -20,6 +20,7 @@
 //	info         {session}                          -> {vars}
 //	where        {session}                          -> {stop}
 //	close        {session}                          -> {}
+//	coverage     {artifact}                         -> {coverage}
 //	stats        {}                                 -> {stats}
 //	batch        {reqs: [...]}                      -> {results: [...]}
 //
@@ -132,9 +133,52 @@ type Response struct {
 	// stats
 	Stats *Stats `json:"stats,omitempty"`
 
+	// coverage
+	Coverage *CoverageInfo `json:"coverage,omitempty"`
+
 	// batch: one result per sub-command, in request order, each with its
 	// own ok/error.
 	Results []Response `json:"results,omitempty"`
+}
+
+// CoverageCounts is one row of the coverage command's report: the
+// absolute pair buckets plus the fixed two-decimal percentage strings.
+// The percentages are rendered server-side through coverage.Counts.Pcts
+// — the single formatting path — so a live daemon and an in-process
+// sweep of the same artifact agree byte for byte, which is what the
+// oracle's remote-equality check asserts.
+type CoverageCounts struct {
+	// Pairs is the total number of statement×variable(×field) pairs
+	// swept, including uninitialized ones.
+	Pairs int `json:"pairs"`
+	// Current / Recovered / Noncurrent partition Pairs - Uninit.
+	Current    int `json:"current"`
+	Recovered  int `json:"recovered"`
+	Noncurrent int `json:"noncurrent"`
+	// Suspect and Nonresident detail the noncurrent bucket.
+	Suspect     int `json:"suspect"`
+	Nonresident int `json:"nonresident"`
+	// Uninit counts pairs no source assignment reaches yet; they are
+	// excluded from the percentage base.
+	Uninit int `json:"uninit"`
+	// Percentages of Pairs - Uninit, fixed two-decimal strings.
+	CurrentPct    string `json:"current_pct"`
+	RecoveredPct  string `json:"recovered_pct"`
+	NoncurrentPct string `json:"noncurrent_pct"`
+}
+
+// CoverageInfo answers the coverage command: whole-artifact totals plus
+// one row per function in program order. The sweep is deterministic, so
+// repeated coverage commands on one artifact answer byte-identically.
+type CoverageInfo struct {
+	CoverageCounts
+	Funcs []FuncCoverageInfo `json:"funcs,omitempty"`
+}
+
+// FuncCoverageInfo is one function's slice of the sweep.
+type FuncCoverageInfo struct {
+	Func string `json:"func"`
+	CoverageCounts
 }
 
 // StopInfo describes where a session is stopped.
@@ -258,4 +302,10 @@ type Stats struct {
 	FuncCacheEntries   int   `json:"func_cache_entries"`
 	FuncCacheBytes     int64 `json:"func_cache_bytes"`
 	FuncCacheEvictions int64 `json:"func_cache_evictions"`
+
+	// CoverageSweeps counts coverage commands served; CoveragePairs is
+	// the total number of statement×variable(×field) pairs those sweeps
+	// classified. Both are per-server lifetime counters.
+	CoverageSweeps int64 `json:"coverage_sweeps"`
+	CoveragePairs  int64 `json:"coverage_pairs"`
 }

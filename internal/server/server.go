@@ -17,6 +17,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/coverage"
 	"repro/internal/debugger"
 	"repro/internal/fault"
 	"repro/internal/opt"
@@ -162,6 +163,8 @@ type Server struct {
 	connsActive    atomic.Int64
 	connsTotal     atomic.Int64
 	authFailures   atomic.Int64
+	coverageSweeps atomic.Int64
+	coveragePairs  atomic.Int64
 
 	closeOnce sync.Once
 	reapStop  chan struct{}
@@ -522,6 +525,8 @@ func (s *Server) answer(c *connState, req *Request) (resp *Response) {
 		return s.handleAttach(c, req)
 	case "detach":
 		return s.handleDetach(c, req)
+	case "coverage":
+		return s.handleCoverage(req)
 	case "break", "continue", "step", "print", "info", "where", "close":
 		return s.handleSession(c, req)
 	case "batch":
@@ -626,6 +631,49 @@ func (s *Server) handleCompile(req *Request) *Response {
 		resp.FuncsReused = len(art.Res.Mach.Funcs)
 	}
 	return resp
+}
+
+// handleCoverage runs the deterministic coverage sweep over a compiled
+// artifact: every statement×variable(×field) pair bucketed by what the
+// classifier lets the debugger show there. The sweep reads the same
+// precomputed analyses sessions use and mutates nothing, so the command
+// is idempotent and safe under concurrent sessions; repeated sweeps of
+// one artifact answer byte-identically, and the percentage strings are
+// rendered by the same coverage.Counts.Pcts the in-process sweep uses.
+func (s *Server) handleCoverage(req *Request) *Response {
+	art, ok := s.store.Lookup(req.Artifact)
+	if !ok {
+		return errResp(req.ID, CodeNoSuchArtifact, fmt.Sprintf("no artifact %q (compile first)", req.Artifact))
+	}
+	rep := coverage.Sweep(art.Res, art.Analyses)
+	s.coverageSweeps.Add(1)
+	s.coveragePairs.Add(int64(rep.Total.Pairs))
+	return &Response{ID: req.ID, OK: true, Artifact: art.ID(), Coverage: coverageInfoOf(rep)}
+}
+
+// coverageCountsOf converts one library-side counts row to its wire
+// shape, percentages included.
+func coverageCountsOf(c coverage.Counts) CoverageCounts {
+	cur, rec, non := c.Pcts()
+	return CoverageCounts{
+		Pairs:      c.Pairs,
+		Current:    c.Current,
+		Recovered:  c.Recovered,
+		Noncurrent: c.Noncurrent,
+		Suspect:    c.Suspect, Nonresident: c.Nonresident,
+		Uninit:        c.Uninit,
+		CurrentPct:    cur,
+		RecoveredPct:  rec,
+		NoncurrentPct: non,
+	}
+}
+
+func coverageInfoOf(rep *coverage.Report) *CoverageInfo {
+	ci := &CoverageInfo{CoverageCounts: coverageCountsOf(rep.Total)}
+	for _, f := range rep.Funcs {
+		ci.Funcs = append(ci.Funcs, FuncCoverageInfo{Func: f.Func, CoverageCounts: coverageCountsOf(f.Counts)})
+	}
+	return ci
 }
 
 func (s *Server) handleOpen(c *connState, req *Request) *Response {
@@ -948,5 +996,7 @@ func (s *Server) Snapshot() Stats {
 		st.FuncCacheBytes = fs.MemoryBytes
 		st.FuncCacheEvictions = fs.Evictions
 	}
+	st.CoverageSweeps = s.coverageSweeps.Load()
+	st.CoveragePairs = s.coveragePairs.Load()
 	return st
 }

@@ -157,6 +157,47 @@ func TestRunBreaksDeadline(t *testing.T) {
 	}
 }
 
+// TestDeadlineTinyProgram: a program far shorter than checkQuantum steps
+// must still honor an already-expired deadline, on both engines, without
+// executing a single instruction. Before the entry-point check landed,
+// the deadline was only consulted at checkQuantum-aligned step counts,
+// so a request admitted after its deadline (queueing delay under soak
+// load) ran tiny workloads to completion instead of failing fast —
+// exactly the stall the oracle soak's short randprog corpus provokes.
+func TestDeadlineTinyProgram(t *testing.T) {
+	const tinyProg = `int main() { int a = 3; return a + 4; }`
+
+	_, vFast := compile(t, tinyProg, opt.O2())
+	vFast.SetDeadline(time.Now().Add(-time.Second))
+	errFast := vFast.RunBreaks(vFast.NewBreakSet(), false)
+	if !errors.Is(errFast, ErrDeadline) {
+		t.Fatalf("fast path: %v, want ErrDeadline", errFast)
+	}
+	if vFast.Steps != 0 {
+		t.Errorf("fast path executed %d steps past an expired deadline", vFast.Steps)
+	}
+
+	_, vRef := compile(t, tinyProg, opt.O2())
+	vRef.SetDeadline(time.Now().Add(-time.Second))
+	errRef := vRef.RunUntilFunc(func(Pos) bool { return false })
+	if !errors.Is(errRef, ErrDeadline) {
+		t.Fatalf("ref path: %v, want ErrDeadline", errRef)
+	}
+	if vRef.Steps != vFast.Steps {
+		t.Errorf("Steps at expired deadline: fast %d ref %d", vFast.Steps, vRef.Steps)
+	}
+
+	// Clearing the deadline lets the same VM resume and finish: the cutoff
+	// must leave it consistent at the instruction boundary.
+	vFast.SetDeadline(time.Time{})
+	if err := vFast.RunBreaks(vFast.NewBreakSet(), false); err != nil {
+		t.Fatalf("resume after cleared deadline: %v", err)
+	}
+	if !vFast.Halted() {
+		t.Error("program should have finished after the deadline was cleared")
+	}
+}
+
 // TestOutputLimit: printing past MaxOutput fails with ErrOutputLimit,
 // deterministically, retaining everything printed before the limit; the
 // reference path trips identically.

@@ -187,6 +187,25 @@ func (vm *VM) SetDeadline(t time.Time) {
 	vm.deadline = t.UnixNano()
 }
 
+// checkDeadline reports ErrDeadline when the wall-clock deadline has
+// already passed. Both run entry points (RunBreaks and RunUntilFunc)
+// call it before executing anything: the in-loop checks fire only at
+// checkQuantum-aligned step counts, so without the entry check a program
+// shorter than checkQuantum steps — or a request admitted after its
+// deadline under queueing delay — would run to completion against an
+// expired deadline instead of failing fast. The clock is read only when
+// a deadline is armed, so deadline-free execution still pays nothing.
+func (vm *VM) checkDeadline() error {
+	if vm.deadline != 0 && time.Now().UnixNano() > vm.deadline {
+		name := "main"
+		if fr := vm.Top(); fr != nil {
+			name = fr.Fn.Name
+		}
+		return fmt.Errorf("%w in %s", ErrDeadline, name)
+	}
+	return nil
+}
+
 // Halted reports whether the program has finished.
 func (vm *VM) Halted() bool { return vm.halted }
 
@@ -246,6 +265,9 @@ func (vm *VM) RunUntil(stop func(Pos) bool) error { return vm.RunUntilFunc(stop)
 // RunBreaks to byte-identical behavior against it.
 func (vm *VM) RunUntilFunc(stop func(Pos) bool) error {
 	slowRuns.Add(1)
+	if err := vm.checkDeadline(); err != nil {
+		return err
+	}
 	for !vm.halted {
 		if stop(vm.Position()) {
 			return nil
@@ -273,6 +295,9 @@ func (vm *VM) RunBreaks(bs *BreakSet, skipCurrent bool) error {
 	fastRuns.Add(1)
 	if bs == nil || bs.pc != vm.pcode {
 		return errors.New("vm: BreakSet was compiled for a different program")
+	}
+	if err := vm.checkDeadline(); err != nil {
+		return err
 	}
 	if skipCurrent && !vm.halted {
 		if err := vm.Step(); err != nil {

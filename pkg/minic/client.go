@@ -65,6 +65,12 @@ type (
 	RemoteVar = server.VarInfo
 	// RemoteStats is the daemon's metrics snapshot.
 	RemoteStats = server.Stats
+	// RemoteCoverage is the coverage command's payload: whole-artifact
+	// totals plus per-function rows, with server-rendered percentage
+	// strings.
+	RemoteCoverage = server.CoverageInfo
+	// RemoteCoverageCounts is one row of a RemoteCoverage report.
+	RemoteCoverageCounts = server.CoverageCounts
 )
 
 // DialOption configures Dial.
@@ -142,6 +148,7 @@ func WithRetry(p RetryPolicy) DialOption {
 var idempotentCmds = map[string]bool{
 	"auth": true, "stats": true, "compile": true, "attach": true,
 	"detach": true, "break": true, "where": true, "print": true, "info": true,
+	"coverage": true,
 }
 
 // Client is one connection to a remote mcd daemon. It is safe for
@@ -337,6 +344,22 @@ func (c *Client) Compile(name, src string) (*RemoteArtifact, error) {
 	return &RemoteArtifact{ID: resp.Artifact, Cached: resp.Cached, Funcs: resp.Funcs}, nil
 }
 
+// RemoteConfig selects the daemon-side pipeline configuration for
+// CompileWith. The zero value (or nil) means full optimization.
+type RemoteConfig = server.ConfigSpec
+
+// CompileWith compiles source text on the daemon under an explicit
+// pipeline configuration (opt level, register allocation, scheduling).
+// Artifacts are content-addressed per configuration, so the same source
+// under different configs yields distinct artifacts.
+func (c *Client) CompileWith(name, src string, cfg *RemoteConfig) (*RemoteArtifact, error) {
+	resp, err := c.do(&server.Request{Cmd: "compile", Name: name, Src: src, Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteArtifact{ID: resp.Artifact, Cached: resp.Cached, Funcs: resp.Funcs}, nil
+}
+
 // CompileWorkload compiles one of the daemon's built-in bench workloads.
 func (c *Client) CompileWorkload(workload string) (*RemoteArtifact, error) {
 	resp, err := c.do(&server.Request{Cmd: "compile", Workload: workload})
@@ -344,6 +367,20 @@ func (c *Client) CompileWorkload(workload string) (*RemoteArtifact, error) {
 		return nil, err
 	}
 	return &RemoteArtifact{ID: resp.Artifact, Cached: resp.Cached, Funcs: resp.Funcs}, nil
+}
+
+// Coverage runs the daemon's deterministic coverage sweep over a
+// compiled artifact: every statement×variable(×field) pair bucketed by
+// what the classifier lets the debugger show there. The percentage
+// strings are rendered by the daemon through the same formatting path
+// the in-process sweep uses, so the two agree byte for byte on the same
+// artifact — the oracle's remote-equality check depends on that.
+func (c *Client) Coverage(artifactID string) (*RemoteCoverage, error) {
+	resp, err := c.do(&server.Request{Cmd: "coverage", Artifact: artifactID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Coverage, nil
 }
 
 // RemoteSession is a debug session living on the daemon. ID addresses

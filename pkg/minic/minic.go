@@ -48,6 +48,7 @@ import (
 	"repro/internal/artstore"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/coverage"
 	"repro/internal/debugger"
 	"repro/internal/mach"
 	"repro/internal/opt"
@@ -397,6 +398,16 @@ func (a *Artifact) ClassifyFunc(name string) ([]StmtClassifications, error) {
 		out = append(out, StmtClassifications{Stmt: s, Classes: cs})
 	}
 	return out, nil
+}
+
+// Coverage computes the artifact's debug-info coverage report: every
+// statement×variable(×field) pair bucketed as current / recovered /
+// noncurrent by the classifier (see internal/coverage). The server's
+// coverage protocol command routes through the same sweep, so a live
+// daemon and this in-process call agree byte for byte on the same
+// artifact.
+func (a *Artifact) Coverage() *coverage.Report {
+	return coverage.Sweep(a.res, a.analyses)
 }
 
 // Run executes the program on a fresh simulator to completion and
